@@ -1,0 +1,492 @@
+// Benchmarks regenerating the paper's evaluation artifacts:
+//
+//   - BenchmarkTable2 measures each heuristic's mapping run on
+//     representative scenario rows of Table 2 and reports the achieved
+//     objective (objective metric) alongside the mapping time (ns/op).
+//   - BenchmarkTable3 measures the emulated experiment on HMN and RA
+//     mappings and reports its makespan (makespan_s metric) — the Table 3
+//     quantity.
+//   - BenchmarkFigure1 measures HMN's mapping time as the number of
+//     virtual links grows on the torus (and, for contrast, the switched)
+//     cluster — the Figure 1 series; the links metric carries the x-axis.
+//   - BenchmarkAblation* quantify the design choices DESIGN.md §7 calls
+//     out: the Migration stage, the host re-sort in Hosting, the
+//     networking link order, the Migration load metric and A*Prune's
+//     dominance pruning.
+//   - BenchmarkAStarPrune and BenchmarkDijkstra measure the routing
+//     primitives in isolation.
+//
+// Full-matrix table regeneration (30 repetitions, failure counts) is the
+// job of cmd/hmnbench; benchmarks measure single representative runs.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/exact"
+	"repro/internal/exp"
+	"repro/internal/ga"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/virtual"
+	"repro/internal/workload"
+)
+
+// benchInstance is a prepared (cluster, environment) pair.
+type benchInstance struct {
+	name  string
+	c     *Cluster
+	env   *virtual.Env
+	ratio float64
+}
+
+// benchScenarios builds representative Table 2 rows: the easiest and
+// hardest high-level rows plus the two low-level extremes, on a given
+// topology.
+func benchScenarios(b *testing.B, topo exp.Topology) []benchInstance {
+	b.Helper()
+	rows := []struct {
+		label string
+		scn   exp.Scenario
+	}{
+		{"2.5to1_d0.015", exp.Scenario{Ratio: 2.5, Density: 0.015, Class: exp.HighLevel}},
+		{"7.5to1_d0.02", exp.Scenario{Ratio: 7.5, Density: 0.02, Class: exp.HighLevel}},
+		{"20to1_d0.01", exp.Scenario{Ratio: 20, Density: 0.01, Class: exp.LowLevel}},
+		{"50to1_d0.01", exp.Scenario{Ratio: 50, Density: 0.01, Class: exp.LowLevel}},
+	}
+	out := make([]benchInstance, 0, len(rows))
+	for i, r := range rows {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+		var (
+			c   *Cluster
+			err error
+		)
+		if topo == exp.Switched {
+			c, err = topology.Switched(specs, workload.SwitchPorts, workload.PhysLinkBW, workload.PhysLinkLat)
+		} else {
+			c, err = topology.Torus2D(specs, workload.TorusRows, workload.TorusCols, workload.PhysLinkBW, workload.PhysLinkLat)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		env := workload.GenerateEnv(r.scn.Params(40), rng)
+		out = append(out, benchInstance{name: r.label, c: c, env: env, ratio: r.scn.Ratio})
+	}
+	return out
+}
+
+func benchMapper(name string, seed int64) core.Mapper {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "HMN":
+		return &core.HMN{}
+	case "R":
+		return &baseline.Random{Rand: rng, MaxTries: 50}
+	case "RA":
+		return &baseline.Random{Rand: rng, MaxTries: 50, UseAStar: true}
+	case "HS":
+		return &baseline.HostingSearch{Rand: rng, MaxTries: 50}
+	}
+	panic("unknown mapper " + name)
+}
+
+// BenchmarkTable2 regenerates the Table 2 comparison: per scenario row
+// and heuristic, the time to compute a mapping and the objective reached.
+// Failed attempts (the random baselines on the torus — Table 2's failure
+// rows) report objective -1 and still measure the time burned.
+func BenchmarkTable2(b *testing.B) {
+	for _, topo := range []exp.Topology{exp.Torus, exp.Switched} {
+		insts := benchScenarios(b, topo)
+		for _, inst := range insts {
+			for _, h := range []string{"HMN", "R", "RA", "HS"} {
+				// The uninformed baselines burn their whole retry budget
+				// on the heavy low-level rows; benchmark them on the
+				// high-level rows only.
+				if (h == "R" || h == "HS") && inst.ratio >= 20 {
+					continue
+				}
+				b.Run(fmt.Sprintf("%s/%s/%s", topo, inst.name, h), func(b *testing.B) {
+					obj := -1.0
+					for i := 0; i < b.N; i++ {
+						m, err := benchMapper(h, int64(i)).Map(inst.c, inst.env)
+						if err == nil {
+							obj = m.Objective(VMMOverhead{})
+						}
+					}
+					b.ReportMetric(obj, "objective")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the Table 3 quantity: the emulated
+// experiment's execution on a prepared mapping, reporting the simulated
+// makespan (the table's cell value) and measuring the simulator's own
+// speed.
+func BenchmarkTable3(b *testing.B) {
+	for _, topo := range []exp.Topology{exp.Torus, exp.Switched} {
+		insts := benchScenarios(b, topo)
+		for _, inst := range insts {
+			for _, h := range []string{"HMN", "RA"} {
+				m, err := benchMapper(h, 1).Map(inst.c, inst.env)
+				if err != nil {
+					continue
+				}
+				cfg := sim.ExperimentConfig{BaseSeconds: 2, TransferSeconds: 0.05}
+				b.Run(fmt.Sprintf("%s/%s/%s", topo, inst.name, h), func(b *testing.B) {
+					makespan := 0.0
+					for i := 0; i < b.N; i++ {
+						makespan = sim.RunExperiment(m, cfg).Makespan
+					}
+					b.ReportMetric(makespan, "makespan_s")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the Figure 1 series: HMN mapping time as a
+// function of the number of virtual links, on both cluster topologies.
+// The links metric is the x-axis of the figure; ns/op is the y-axis.
+func BenchmarkFigure1(b *testing.B) {
+	for _, topo := range []exp.Topology{exp.Torus, exp.Switched} {
+		for _, scn := range []exp.Scenario{
+			{Ratio: 2.5, Density: 0.015, Class: exp.HighLevel},
+			{Ratio: 5, Density: 0.02, Class: exp.HighLevel},
+			{Ratio: 7.5, Density: 0.025, Class: exp.HighLevel},
+			{Ratio: 20, Density: 0.01, Class: exp.LowLevel},
+			{Ratio: 30, Density: 0.01, Class: exp.LowLevel},
+			{Ratio: 40, Density: 0.01, Class: exp.LowLevel},
+			{Ratio: 50, Density: 0.01, Class: exp.LowLevel},
+		} {
+			rng := rand.New(rand.NewSource(7))
+			specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+			var (
+				c   *Cluster
+				err error
+			)
+			if topo == exp.Switched {
+				c, err = topology.Switched(specs, workload.SwitchPorts, workload.PhysLinkBW, workload.PhysLinkLat)
+			} else {
+				c, err = topology.Torus2D(specs, workload.TorusRows, workload.TorusCols, workload.PhysLinkBW, workload.PhysLinkLat)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := workload.GenerateEnv(scn.Params(40), rng)
+			b.Run(fmt.Sprintf("%s/links_%d", topo, env.NumLinks()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := (&core.HMN{}).Map(c, env); err != nil {
+						b.Skipf("instance infeasible: %v", err)
+					}
+				}
+				b.ReportMetric(float64(env.NumLinks()), "links")
+			})
+		}
+	}
+}
+
+// ablationInstance prepares the shared workload of the ablation benches.
+func ablationInstance(b *testing.B) (*Cluster, *virtual.Env) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Torus2D(specs, 8, 5, workload.PhysLinkBW, workload.PhysLinkLat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := workload.GenerateEnv(workload.HighLevelParams(200, 0.02), rng)
+	return c, env
+}
+
+func runHMNVariant(b *testing.B, h *core.HMN, c *Cluster, env *virtual.Env) {
+	b.Helper()
+	obj := -1.0
+	for i := 0; i < b.N; i++ {
+		m, err := h.Map(c, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj = m.Objective(VMMOverhead{})
+	}
+	b.ReportMetric(obj, "objective")
+}
+
+// BenchmarkAblationMigration isolates stage 2: HMN with and without the
+// Migration stage (DESIGN.md §7).
+func BenchmarkAblationMigration(b *testing.B) {
+	c, env := ablationInstance(b)
+	b.Run("with_migration", func(b *testing.B) { runHMNVariant(b, &core.HMN{}, c, env) })
+	b.Run("without_migration", func(b *testing.B) {
+		runHMNVariant(b, &core.HMN{DisableMigration: true}, c, env)
+	})
+}
+
+// BenchmarkAblationHostResort isolates the Hosting stage's re-sort of the
+// host list after every placement.
+func BenchmarkAblationHostResort(b *testing.B) {
+	c, env := ablationInstance(b)
+	b.Run("resort", func(b *testing.B) { runHMNVariant(b, &core.HMN{}, c, env) })
+	b.Run("no_resort", func(b *testing.B) {
+		runHMNVariant(b, &core.HMN{DisableHostResort: true}, c, env)
+	})
+}
+
+// BenchmarkAblationLoadMetric compares the Migration stage's two load
+// rankings: absolute residual MIPS (paper) vs utilisation fraction.
+func BenchmarkAblationLoadMetric(b *testing.B) {
+	c, env := ablationInstance(b)
+	b.Run("residual_mips", func(b *testing.B) { runHMNVariant(b, &core.HMN{}, c, env) })
+	b.Run("utilization", func(b *testing.B) {
+		runHMNVariant(b, &core.HMN{Metric: core.LoadUtilization}, c, env)
+	})
+}
+
+// BenchmarkAblationNetworkOrder compares the Networking stage's link
+// orders: descending bandwidth (paper), ascending, random.
+func BenchmarkAblationNetworkOrder(b *testing.B) {
+	c, env := ablationInstance(b)
+	orders := []struct {
+		name  string
+		order core.LinkOrder
+	}{
+		{"descending_bw", core.OrderDescendingBW},
+		{"ascending_bw", core.OrderAscendingBW},
+		{"random", core.OrderRandom},
+	}
+	for _, o := range orders {
+		b.Run(o.name, func(b *testing.B) {
+			runHMNVariant(b, &core.HMN{NetworkOrder: o.order, Rand: rand.New(rand.NewSource(1))}, c, env)
+		})
+	}
+}
+
+// BenchmarkAblationAStarDominance quantifies A*Prune's dominance pruning
+// on the torus (it does not change results — see the graph tests — only
+// the candidate-set size).
+func BenchmarkAblationAStarDominance(b *testing.B) {
+	c, env := ablationInstance(b)
+	b.Run("dominance", func(b *testing.B) { runHMNVariant(b, &core.HMN{}, c, env) })
+	b.Run("no_dominance", func(b *testing.B) {
+		runHMNVariant(b, &core.HMN{AStar: graph.AStarPruneOptions{DisableDominance: true}}, c, env)
+	})
+}
+
+// BenchmarkAStarPrune measures the raw modified A*Prune search between
+// random host pairs on the torus with paper-typical constraints.
+func BenchmarkAStarPrune(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Torus2D(specs, 8, 5, workload.PhysLinkBW, workload.PhysLinkLat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := c.Net()
+	bw := g.NominalBandwidth()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := graph.NodeID(i % 40)
+		dst := graph.NodeID((i*7 + 13) % 40)
+		if src == dst {
+			continue
+		}
+		if _, ok := graph.AStarPrune(g, src, dst, 1.0, 45, bw, nil); !ok {
+			b.Fatal("torus pair should be routable")
+		}
+	}
+}
+
+// BenchmarkDijkstra measures the latency-table computation (the ar[]
+// precomputation dominating the Networking stage per §5.2).
+func BenchmarkDijkstra(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Torus2D(specs, 8, 5, workload.PhysLinkBW, workload.PhysLinkLat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := c.Net()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.DijkstraLatency(g, graph.NodeID(i%40))
+	}
+}
+
+// BenchmarkExperimentSim measures the discrete-event simulator on a
+// 2000-guest mapping (the heaviest Table 3 cell).
+func BenchmarkExperimentSim(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Switched(specs, 64, workload.PhysLinkBW, workload.PhysLinkLat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := workload.GenerateEnv(workload.LowLevelParams(2000, 0.01), rng)
+	m, err := (&core.HMN{}).Map(c, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.ExperimentConfig{BaseSeconds: 2, TransferSeconds: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunExperiment(m, cfg)
+	}
+}
+
+// BenchmarkExactSolver measures the branch-and-bound optimum on the
+// optimality-gap instance size (8 guests, 5 hosts).
+func BenchmarkExactSolver(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	specs := workload.GenerateHosts(workload.ClusterParams{
+		Hosts: 5, ProcMin: 1000, ProcMax: 3000,
+		MemMin: 1024, MemMax: 3072, StorMin: 1000, StorMax: 3000,
+	}, rng)
+	c, err := topology.Ring(specs, workload.PhysLinkBW, workload.PhysLinkLat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := workload.GenerateEnv(workload.VirtualParams{
+		Guests: 8, Density: 0.3,
+		ProcMin: 100, ProcMax: 400,
+		MemMin: 256, MemMax: 1024,
+		StorMin: 100, StorMax: 400,
+		BWMin: 0.5, BWMax: 2,
+		LatMin: 20, LatMax: 60,
+	}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.Solve(c, env, exact.Options{}); err != nil {
+			b.Skipf("instance infeasible: %v", err)
+		}
+	}
+}
+
+// BenchmarkDeployPlan measures turning a 2000-guest mapping into its
+// per-host deployment artifacts.
+func BenchmarkDeployPlan(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Torus2D(specs, 8, 5, workload.PhysLinkBW, workload.PhysLinkLat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := workload.GenerateEnv(workload.LowLevelParams(2000, 0.01), rng)
+	m, err := (&core.HMN{}).Map(c, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := deploy.Build(m, VMMOverhead{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionMapRelease measures one tenant's deploy+teardown cycle
+// on a shared cluster.
+func BenchmarkSessionMapRelease(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Torus2D(specs, 8, 5, workload.PhysLinkBW, workload.PhysLinkLat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := core.NewSession(c, VMMOverhead{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := workload.GenerateEnv(workload.HighLevelParams(60, 0.03), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sess.Map(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.Release(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFatTreeMapping measures HMN on a k=8 fat-tree (128 hosts) —
+// a modern multipath fabric far denser than the paper's topologies.
+func BenchmarkFatTreeMapping(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	params := workload.PaperClusterParams()
+	params.Hosts = 128
+	specs := workload.GenerateHosts(params, rng)
+	c, err := topology.FatTree(specs, 8, workload.PhysLinkBW, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := workload.GenerateEnv(workload.HighLevelParams(512, 0.01), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&core.HMN{}).Map(c, env); err != nil {
+			b.Skipf("instance infeasible: %v", err)
+		}
+	}
+}
+
+// BenchmarkDFSTreeVsAStar contrasts the baseline's uninformed tree
+// search with the modified A*Prune on identical torus queries.
+func BenchmarkDFSTreeVsAStar(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Torus2D(specs, 8, 5, workload.PhysLinkBW, workload.PhysLinkLat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := c.Net()
+	bw := g.NominalBandwidth()
+	b.Run("dfs_tree", func(b *testing.B) {
+		r := rand.New(rand.NewSource(1))
+		found := 0
+		for i := 0; i < b.N; i++ {
+			if _, ok := graph.DFSTreePath(g, graph.NodeID(i%40), graph.NodeID((i*7+13)%40), 1, 45, bw, r); ok {
+				found++
+			}
+		}
+		if b.N > 0 {
+			b.ReportMetric(float64(found)/float64(b.N), "success_rate")
+		}
+	})
+	b.Run("astar_prune", func(b *testing.B) {
+		found := 0
+		for i := 0; i < b.N; i++ {
+			if _, ok := graph.AStarPrune(g, graph.NodeID(i%40), graph.NodeID((i*7+13)%40), 1, 45, bw, nil); ok {
+				found++
+			}
+		}
+		if b.N > 0 {
+			b.ReportMetric(float64(found)/float64(b.N), "success_rate")
+		}
+	})
+}
+
+// BenchmarkGAMapper measures the memetic GA refinement on a paper-sized
+// instance, reporting the objective it reaches (compare the HMN rows of
+// BenchmarkTable2).
+func BenchmarkGAMapper(b *testing.B) {
+	c, env := ablationInstance(b)
+	obj := -1.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := &ga.Mapper{Rand: rand.New(rand.NewSource(1)), Generations: 40}
+		m, err := g.Map(c, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj = m.Objective(VMMOverhead{})
+	}
+	b.ReportMetric(obj, "objective")
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestValidRuns(t *testing.T) {
+	res := &exp.Results{Runs: []exp.Run{{OK: true}, {OK: false}, {OK: true}}}
+	if got := validRuns(res); got != 2 {
+		t.Fatalf("validRuns = %d, want 2", got)
+	}
+	if validRuns(&exp.Results{}) != 0 {
+		t.Fatal("empty results have no valid runs")
+	}
+}

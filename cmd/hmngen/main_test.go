@@ -1,0 +1,63 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestSquarest(t *testing.T) {
+	cases := []struct{ n, rows, cols int }{
+		{40, 8, 5}, {16, 4, 4}, {13, 13, 1}, {1, 1, 1}, {36, 6, 6},
+	}
+	for _, c := range cases {
+		r, co := squarest(c.n)
+		if r != c.rows || co != c.cols {
+			t.Errorf("squarest(%d) = %dx%d, want %dx%d", c.n, r, co, c.rows, c.cols)
+		}
+	}
+}
+
+func TestBuildTopologyKinds(t *testing.T) {
+	specs := make([]topology.HostSpec, 8)
+	for i := range specs {
+		specs[i] = topology.HostSpec{Proc: 2000, Mem: 2048, Stor: 2000}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range []string{"torus", "switched", "ring", "line", "star", "mesh", "tree", "random"} {
+		c, err := buildTopology(kind, specs, 16, 4, 5, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if c.NumHosts() != 8 {
+			t.Fatalf("%s: host count wrong", kind)
+		}
+		if !c.Net().Connected() {
+			t.Fatalf("%s: disconnected", kind)
+		}
+	}
+	if _, err := buildTopology("bogus", specs, 16, 4, 5, rng); err == nil {
+		t.Fatal("unknown topology must error")
+	}
+}
+
+func TestBuildTopologyFatTree(t *testing.T) {
+	// A fat-tree needs (k^3)/4 hosts: 16 hosts give k=4.
+	specs16 := make([]topology.HostSpec, 16)
+	for i := range specs16 {
+		specs16[i] = topology.HostSpec{Proc: 2000, Mem: 2048, Stor: 2000}
+	}
+	c, err := buildTopology("fattree", specs16, 16, 4, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumHosts() != 16 || !c.Net().Connected() {
+		t.Fatal("fat-tree shape wrong")
+	}
+	// 8 hosts match no even arity: must error.
+	specs8 := make([]topology.HostSpec, 8)
+	if _, err := buildTopology("fattree", specs8, 16, 4, 5, nil); err == nil {
+		t.Fatal("8 hosts match no fat-tree arity")
+	}
+}

@@ -1,0 +1,176 @@
+// Command hmnmap maps a virtual environment onto a physical cluster: the
+// automated step of the emulation workflow (§1) that assigns every guest
+// to a host and every virtual link to a physical path.
+//
+// Usage:
+//
+//	hmnmap -cluster cluster.json -env env.json -out mapping.json
+//	hmnmap -cluster c.json -env e.json -heuristic RA -seed 7
+//	hmnmap -cluster c.json -env e.json -vmm-mem 256 -vmm-stor 10
+//
+// The output mapping is validated against the formal constraints
+// Eq. (1)-(9) before being written; the exit status is non-zero when no
+// valid mapping is found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		clusterPath = flag.String("cluster", "", "cluster spec (JSON), required")
+		envPath     = flag.String("env", "", "virtual environment spec (JSON), required")
+		outPath     = flag.String("out", "", "write the mapping to this file (JSON)")
+		heuristic   = flag.String("heuristic", "HMN", "HMN, HMN-C, R, RA or HS")
+		seed        = flag.Int64("seed", 1, "seed for the randomized heuristics")
+		maxTries    = flag.Int("maxtries", baseline.DefaultMaxTries, "retry budget of the random baselines")
+		vmmProc     = flag.Float64("vmm-proc", 0, "VMM CPU overhead per host (MIPS)")
+		vmmMem      = flag.Int64("vmm-mem", 0, "VMM memory overhead per host (MB)")
+		vmmStor     = flag.Float64("vmm-stor", 0, "VMM storage overhead per host (GB)")
+		simulate    = flag.Bool("simulate", false, "also run the emulated experiment on the mapping")
+		planPath    = flag.String("plan", "", "write the per-host deployment plan (JSON) to this file")
+		dotPath     = flag.String("dot", "", "write a Graphviz rendering of the mapping to this file")
+		usagePath   = flag.String("dot-usage", "", "write a Graphviz link-utilisation rendering to this file")
+		planShell   = flag.Bool("plan-shell", false, "print the rendered per-host provisioning commands")
+	)
+	flag.Parse()
+
+	if *clusterPath == "" || *envPath == "" {
+		fmt.Fprintln(os.Stderr, "hmnmap: -cluster and -env are required")
+		os.Exit(2)
+	}
+
+	var cs spec.ClusterSpec
+	if err := spec.LoadJSON(*clusterPath, &cs); err != nil {
+		fatal(err)
+	}
+	c, err := cs.ToCluster()
+	if err != nil {
+		fatal(err)
+	}
+	var es spec.EnvSpec
+	if err := spec.LoadJSON(*envPath, &es); err != nil {
+		fatal(err)
+	}
+	env, err := es.ToEnv()
+	if err != nil {
+		fatal(err)
+	}
+
+	overhead := cluster.VMMOverhead{Proc: *vmmProc, Mem: *vmmMem, Stor: *vmmStor}
+	mapper, err := newMapper(*heuristic, overhead, *seed, *maxTries)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmnmap: %v\n", err)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	m, err := mapper.Map(c, env)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmnmap: %s found no valid mapping: %v\n", mapper.Name(), err)
+		os.Exit(1)
+	}
+	if err := m.Validate(overhead); err != nil {
+		fmt.Fprintf(os.Stderr, "hmnmap: internal error — mapping failed validation: %v\n", err)
+		os.Exit(1)
+	}
+
+	st := m.Summarize(overhead)
+	fmt.Printf("hmnmap: %s mapped %d guests and %d links in %.3fs\n",
+		mapper.Name(), st.Guests, st.Links, elapsed.Seconds())
+	fmt.Printf("  objective (Eq. 10): %.2f\n", st.Objective)
+	fmt.Printf("  hosts used: %d of %d\n", st.UsedHosts, c.NumHosts())
+	fmt.Printf("  links: %d intra-host, %d routed (mean %.2f hops, max %d)\n",
+		st.IntraHostLinks, st.InterHostLinks, st.MeanPathLen, st.MaxPathLen)
+
+	if *simulate {
+		res := sim.RunExperiment(m, sim.ExperimentConfig{Overhead: overhead})
+		fmt.Printf("  emulated experiment makespan: %.3fs (%d events)\n", res.Makespan, res.Events)
+	}
+
+	if *outPath != "" {
+		if err := spec.SaveJSON(*outPath, spec.FromMapping(m, overhead)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hmnmap: wrote %s\n", *outPath)
+	}
+
+	if *dotPath != "" {
+		if err := writeDOT(*dotPath, func(w io.Writer) error { return viz.WriteMappingDOT(w, m) }); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hmnmap: wrote %s\n", *dotPath)
+	}
+	if *usagePath != "" {
+		if err := writeDOT(*usagePath, func(w io.Writer) error { return viz.WriteUsageDOT(w, m) }); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hmnmap: wrote %s\n", *usagePath)
+	}
+
+	if *planPath != "" || *planShell {
+		plan, err := deploy.Build(m, overhead)
+		if err != nil {
+			fatal(err)
+		}
+		if *planPath != "" {
+			if err := spec.SaveJSON(*planPath, plan); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("hmnmap: wrote %s (%d hosts, %d VMs)\n", *planPath, len(plan.Hosts), plan.TotalVMs())
+		}
+		if *planShell {
+			fmt.Print(plan.RenderShell())
+		}
+	}
+}
+
+// newMapper builds the mapper named by the -heuristic flag.
+func newMapper(name string, overhead cluster.VMMOverhead, seed int64, maxTries int) (core.Mapper, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "HMN":
+		return &core.HMN{Overhead: overhead}, nil
+	case "HMN-C":
+		return &core.Consolidator{Overhead: overhead}, nil
+	case "R":
+		return &baseline.Random{Overhead: overhead, Rand: rng, MaxTries: maxTries}, nil
+	case "RA":
+		return &baseline.Random{Overhead: overhead, Rand: rng, MaxTries: maxTries, UseAStar: true}, nil
+	case "HS":
+		return &baseline.HostingSearch{Overhead: overhead, Rand: rng, MaxTries: maxTries}, nil
+	}
+	return nil, fmt.Errorf("unknown -heuristic %q (want HMN, HMN-C, R, RA or HS)", name)
+}
+
+func writeDOT(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hmnmap: %v\n", err)
+	os.Exit(1)
+}

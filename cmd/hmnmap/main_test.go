@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestNewMapper(t *testing.T) {
+	for _, name := range []string{"HMN", "HMN-C", "R", "RA", "HS"} {
+		m, err := newMapper(name, cluster.VMMOverhead{}, 1, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("mapper for %q reports name %q", name, m.Name())
+		}
+	}
+	if _, err := newMapper("bogus", cluster.VMMOverhead{}, 1, 10); err == nil {
+		t.Fatal("unknown heuristic must error")
+	}
+}

@@ -1,0 +1,127 @@
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+// ExampleHMN maps a hand-written two-tier deployment onto a small
+// cluster and prints the placement.
+func ExampleHMN() {
+	g := repro.NewGraph(2)
+	g.AddEdge(0, 1, 1000, 5) // 1 Gbps, 5 ms
+
+	cl, err := repro.NewCluster(g, []repro.Host{
+		{Node: 0, Name: "big", Proc: 3000, Mem: 4096, Stor: 2000},
+		{Node: 1, Name: "small", Proc: 1000, Mem: 1024, Stor: 1000},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	env := repro.NewEnv()
+	web := env.AddGuest("web", 200, 512, 50)
+	db := env.AddGuest("db", 400, 1024, 200)
+	env.AddLink(web, db, 10, 30) // 10 Mbps within 30 ms
+
+	m, err := repro.NewHMN().Map(cl, env)
+	if err != nil {
+		panic(err)
+	}
+	for _, guest := range env.Guests() {
+		host, _ := cl.HostAt(m.HostOf(guest.ID))
+		fmt.Printf("%s -> %s\n", guest.Name, host.Name)
+	}
+	// Output:
+	// web -> big
+	// db -> big
+}
+
+// ExampleMapping_Validate shows the constraint validator rejecting an
+// over-committed placement.
+func ExampleMapping_Validate() {
+	g := repro.NewGraph(1)
+	cl, _ := repro.NewCluster(g, []repro.Host{
+		{Node: 0, Name: "only", Proc: 1000, Mem: 512, Stor: 100},
+	})
+	env := repro.NewEnv()
+	env.AddGuest("a", 10, 400, 10)
+	env.AddGuest("b", 10, 400, 10) // 800MB total on a 512MB host
+
+	m := repro.NewMapping(cl, env)
+	m.GuestHost[0], m.GuestHost[1] = 0, 0
+	err := m.Validate(repro.VMMOverhead{})
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}
+
+// ExampleAStarPrune routes a flow across a diamond, picking the widest
+// of the feasible paths.
+func ExampleAStarPrune() {
+	g := repro.NewGraph(4)
+	g.AddEdge(0, 3, 100, 1)  // direct but narrow
+	g.AddEdge(0, 1, 1000, 1) // wide detour
+	g.AddEdge(1, 3, 1000, 1)
+	g.AddEdge(0, 2, 500, 1)
+	g.AddEdge(2, 3, 500, 1)
+
+	p, ok := repro.AStarPrune(g, 0, 3, 50, 10, g.NominalBandwidth())
+	fmt.Println(ok, p.Len(), p.Bottleneck(g, g.NominalBandwidth()))
+	// Output:
+	// true 2 1000
+}
+
+// ExampleRunExperiment executes the emulated experiment on a mapping and
+// reports its makespan.
+func ExampleRunExperiment() {
+	g := repro.NewGraph(2)
+	g.AddEdge(0, 1, 1000, 5)
+	cl, _ := repro.NewCluster(g, []repro.Host{
+		{Node: 0, Proc: 100, Mem: 4096, Stor: 1000},
+		{Node: 1, Proc: 100, Mem: 4096, Stor: 1000},
+	})
+	env := repro.NewEnv()
+	env.AddGuest("a", 100, 128, 10)
+	env.AddGuest("b", 100, 128, 10)
+
+	m := repro.NewMapping(cl, env)
+	m.GuestHost[0], m.GuestHost[1] = 0, 1 // one guest per host
+
+	res := repro.RunExperiment(m, repro.ExperimentConfig{
+		BaseSeconds:     1,
+		TransferSeconds: 0.001,
+	})
+	fmt.Printf("%.1fs\n", res.Makespan)
+	// Output:
+	// 1.0s
+}
+
+// ExampleGenerateEnv draws a reproducible Table 1 workload.
+func ExampleGenerateEnv() {
+	rng := rand.New(rand.NewSource(1))
+	env := repro.GenerateEnv(repro.HighLevelParams(100, 0.02), rng)
+	fmt.Println(env.NumGuests(), env.NumLinks(), env.Connected())
+	// Output:
+	// 100 99 true
+}
+
+// ExampleNewSession deploys and releases two tenants on one cluster.
+func ExampleNewSession() {
+	rng := rand.New(rand.NewSource(1))
+	hosts := repro.GenerateHosts(repro.PaperClusterParams(), rng)
+	cl, _ := repro.Torus2D(hosts, 8, 5, 1000, 5)
+
+	sess, _ := repro.NewSession(cl, repro.VMMOverhead{}, nil)
+	a, _ := sess.Map(repro.GenerateEnv(repro.HighLevelParams(40, 0.03), rng))
+	b, _ := sess.Map(repro.GenerateEnv(repro.HighLevelParams(40, 0.03), rng))
+	fmt.Println("active:", sess.Active())
+	sess.Release(a)
+	sess.Release(b)
+	fmt.Println("active:", sess.Active())
+	// Output:
+	// active: 2
+	// active: 0
+}

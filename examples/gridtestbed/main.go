@@ -1,0 +1,67 @@
+// Grid-middleware testbed: the paper's "high-level" use case (§5). A
+// tester wants to emulate a 150-node grid on a 40-host torus cluster.
+// Guests are full application stacks (OS + middleware + database), so
+// they demand hundreds of MB of memory and ~150 GB of storage each.
+//
+// The example maps the same environment with HMN and with the RA
+// baseline, verifies both, and compares the load balance and the
+// emulated experiment's execution time — the comparison behind Table 2
+// and Table 3 of the paper.
+//
+//	go run ./examples/gridtestbed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// 40 heterogeneous hosts (Table 1 distributions) in an 8x5 torus.
+	hosts := repro.GenerateHosts(repro.PaperClusterParams(), rng)
+	cl, err := repro.Torus2D(hosts, 8, 5, 1000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 150-guest high-level environment with 2% link density.
+	env := repro.GenerateEnv(repro.HighLevelParams(150, 0.02), rng)
+	fmt.Printf("emulating %d grid nodes with %d virtual links on %d hosts\n\n",
+		env.NumGuests(), env.NumLinks(), cl.NumHosts())
+
+	overhead := repro.VMMOverhead{Proc: 50, Mem: 128, Stor: 10}
+	mappers := []repro.Mapper{
+		func() repro.Mapper { h := repro.NewHMN(); h.Overhead = overhead; return h }(),
+		repro.NewRandomAStar(rand.New(rand.NewSource(7))),
+	}
+
+	fmt.Printf("%-6s %12s %12s %14s %12s\n", "mapper", "objective", "hosts used", "routed links", "makespan")
+	for _, mk := range mappers {
+		m, err := mk.Map(cl, env)
+		if err != nil {
+			fmt.Printf("%-6s failed: %v\n", mk.Name(), err)
+			continue
+		}
+		ovh := overhead
+		if mk.Name() != "HMN" {
+			ovh = repro.VMMOverhead{} // baselines constructed without overhead here
+		}
+		if err := m.Validate(ovh); err != nil {
+			log.Fatalf("%s produced an invalid mapping: %v", mk.Name(), err)
+		}
+		st := m.Summarize(ovh)
+		res := repro.RunExperiment(m, repro.ExperimentConfig{BaseSeconds: 2, TransferSeconds: 0.05, Overhead: ovh})
+		fmt.Printf("%-6s %12.1f %12d %14d %11.2fs\n",
+			mk.Name(), st.Objective, st.UsedHosts, st.InterHostLinks, res.Makespan)
+	}
+
+	fmt.Println("\nHMN balances residual CPU far better (lower objective) while using")
+	fmt.Println("fewer physical links. Across many runs the objective correlates with")
+	fmt.Println("the experiment's execution time (r ~ 0.7, §5.2); any single pair of")
+	fmt.Println("runs — like the two above — can still go either way on makespan.")
+}

@@ -1,0 +1,76 @@
+// Quickstart: map a small hand-written virtual environment onto a
+// four-host cluster with the HMN heuristic and inspect the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A 2x2 torus of four heterogeneous hosts: 1 Gbps links, 5 ms latency.
+	hosts := []repro.HostSpec{
+		{Name: "node-a", Proc: 3000, Mem: 3072, Stor: 2000},
+		{Name: "node-b", Proc: 2000, Mem: 2048, Stor: 2000},
+		{Name: "node-c", Proc: 1500, Mem: 2048, Stor: 1000},
+		{Name: "node-d", Proc: 1000, Mem: 1024, Stor: 1000},
+	}
+	cl, err := repro.Torus2D(hosts, 2, 2, 1000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The emulated system: a tiny three-tier deployment. Each guest
+	// declares CPU (MIPS), memory (MB) and storage (GB) demands; each
+	// virtual link declares bandwidth (Mbps) and a latency budget (ms).
+	env := repro.NewEnv()
+	web := env.AddGuest("web", 200, 512, 50)
+	app := env.AddGuest("app", 400, 1024, 100)
+	db := env.AddGuest("db", 300, 768, 400)
+	cache := env.AddGuest("cache", 100, 256, 10)
+	env.AddLink(web, app, 50, 30) // chatty: should be co-located
+	env.AddLink(app, db, 20, 40)
+	env.AddLink(app, cache, 30, 30)
+	env.AddLink(web, cache, 5, 60)
+
+	// The VMM itself consumes resources on every host (§3.1 of the paper).
+	overhead := repro.VMMOverhead{Proc: 100, Mem: 128, Stor: 10}
+
+	hmn := repro.NewHMN()
+	hmn.Overhead = overhead
+	m, err := hmn.Map(cl, env)
+	if err != nil {
+		log.Fatalf("mapping failed: %v", err)
+	}
+	if err := m.Validate(overhead); err != nil {
+		log.Fatalf("mapping invalid: %v", err)
+	}
+
+	fmt.Println("guest placement:")
+	for _, g := range env.Guests() {
+		host, _ := cl.HostAt(m.HostOf(g.ID))
+		fmt.Printf("  %-6s -> %s\n", g.Name, host.Name)
+	}
+	fmt.Println("virtual link routing:")
+	for _, l := range env.Links() {
+		p := m.LinkPath[l.ID]
+		if p.Len() == 0 {
+			fmt.Printf("  %s-%s: intra-host\n", env.Guest(l.From).Name, env.Guest(l.To).Name)
+			continue
+		}
+		fmt.Printf("  %s-%s: %d hop(s), %.0f ms, path %v\n",
+			env.Guest(l.From).Name, env.Guest(l.To).Name,
+			p.Len(), p.Latency(cl.Net()), p.Nodes)
+	}
+
+	st := m.Summarize(overhead)
+	fmt.Printf("objective (std-dev of residual CPU): %.1f MIPS\n", st.Objective)
+
+	// Run the emulated experiment on the mapping.
+	res := repro.RunExperiment(m, repro.ExperimentConfig{Overhead: overhead})
+	fmt.Printf("emulated experiment makespan: %.2f s\n", res.Makespan)
+}

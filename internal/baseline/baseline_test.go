@@ -1,0 +1,214 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/virtual"
+	"repro/internal/workload"
+)
+
+func paperSetup(t *testing.T, seed int64, guests int, density float64) (*cluster.Cluster, *virtual.Env) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Torus2D(specs, 8, 5, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := workload.GenerateEnv(workload.HighLevelParams(guests, density), rng)
+	return c, v
+}
+
+func TestNames(t *testing.T) {
+	if (&Random{}).Name() != "R" {
+		t.Fatal("Random should be named R")
+	}
+	if (&Random{UseAStar: true}).Name() != "RA" {
+		t.Fatal("Random+A*Prune should be named RA")
+	}
+	if (&HostingSearch{}).Name() != "HS" {
+		t.Fatal("HostingSearch should be named HS")
+	}
+}
+
+func TestRandomProducesValidMapping(t *testing.T) {
+	// On the switched cluster R always finds a mapping (the paper's own
+	// observation); the torus is where its DFS-tree routing collapses,
+	// which the failure tests below pin.
+	rng := rand.New(rand.NewSource(1))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Switched(specs, 64, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := workload.GenerateEnv(workload.HighLevelParams(100, 0.015), rng)
+	r := &Random{Rand: rand.New(rand.NewSource(2)), MaxTries: 1000}
+	m, err := r.Map(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(cluster.VMMOverhead{}); err != nil {
+		t.Fatalf("R produced an invalid mapping: %v", err)
+	}
+}
+
+func TestRandomAStarProducesValidMapping(t *testing.T) {
+	c, v := paperSetup(t, 3, 150, 0.02)
+	ra := &Random{UseAStar: true, Rand: rand.New(rand.NewSource(4)), MaxTries: 1000}
+	m, err := ra.Map(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(cluster.VMMOverhead{}); err != nil {
+		t.Fatalf("RA produced an invalid mapping: %v", err)
+	}
+}
+
+func TestHostingSearchProducesValidMapping(t *testing.T) {
+	c, v := paperSetup(t, 5, 100, 0.015)
+	hs := &HostingSearch{Rand: rand.New(rand.NewSource(6)), MaxTries: 1000}
+	m, err := hs.Map(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(cluster.VMMOverhead{}); err != nil {
+		t.Fatalf("HS produced an invalid mapping: %v", err)
+	}
+}
+
+func TestRandomFailsWhenNothingFits(t *testing.T) {
+	specs := []topology.HostSpec{{Proc: 1000, Mem: 64, Stor: 10}, {Proc: 1000, Mem: 64, Stor: 10}}
+	c, err := topology.Line(specs, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := virtual.NewEnv()
+	v.AddGuest("whale", 10, 4096, 100)
+	r := &Random{Rand: rand.New(rand.NewSource(1)), MaxTries: 50}
+	if _, err := r.Map(c, v); !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("want ErrRetriesExhausted, got %v", err)
+	}
+}
+
+func TestRandomFailsOnUnroutableLink(t *testing.T) {
+	// Two single-guest hosts joined by a 1Gbps link; the virtual link
+	// wants 5Gbps. No placement or routing can succeed (memory forbids
+	// co-location), so R must exhaust its budget.
+	specs := []topology.HostSpec{{Proc: 1000, Mem: 256, Stor: 100}, {Proc: 1000, Mem: 256, Stor: 100}}
+	c, err := topology.Line(specs, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := virtual.NewEnv()
+	v.AddGuest("a", 10, 200, 10)
+	v.AddGuest("b", 10, 200, 10)
+	v.AddLink(0, 1, 5000, 60)
+	r := &Random{Rand: rand.New(rand.NewSource(1)), MaxTries: 50}
+	if _, err := r.Map(c, v); !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("want ErrRetriesExhausted, got %v", err)
+	}
+}
+
+func TestHostingSearchFailsFastOnImpossibleHosting(t *testing.T) {
+	// HS does not retry the hosting stage: an unplaceable guest surfaces
+	// core.ErrNoHostFits immediately rather than ErrRetriesExhausted.
+	specs := []topology.HostSpec{{Proc: 1000, Mem: 64, Stor: 10}, {Proc: 1000, Mem: 64, Stor: 10}}
+	c, err := topology.Line(specs, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := virtual.NewEnv()
+	v.AddGuest("whale", 10, 4096, 100)
+	hs := &HostingSearch{Rand: rand.New(rand.NewSource(1)), MaxTries: 50}
+	if _, err := hs.Map(c, v); !errors.Is(err, core.ErrNoHostFits) {
+		t.Fatalf("want core.ErrNoHostFits, got %v", err)
+	}
+}
+
+func TestHostingSearchRetriesOnlyLinks(t *testing.T) {
+	// The hosting stage pins both guests on separate hosts (memory), and
+	// the link is unroutable: HS must exhaust its link-stage retries.
+	specs := []topology.HostSpec{{Proc: 1000, Mem: 256, Stor: 100}, {Proc: 2000, Mem: 256, Stor: 100}}
+	c, err := topology.Line(specs, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := virtual.NewEnv()
+	v.AddGuest("a", 10, 200, 10)
+	v.AddGuest("b", 10, 200, 10)
+	v.AddLink(0, 1, 5000, 60)
+	hs := &HostingSearch{Rand: rand.New(rand.NewSource(1)), MaxTries: 10}
+	if _, err := hs.Map(c, v); !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("want ErrRetriesExhausted, got %v", err)
+	}
+}
+
+func TestBaselinesRespectOverhead(t *testing.T) {
+	c, v := paperSetup(t, 7, 80, 0.015)
+	ov := cluster.VMMOverhead{Proc: 100, Mem: 128, Stor: 10}
+	for _, m := range []core.Mapper{
+		&Random{Overhead: ov, Rand: rand.New(rand.NewSource(1)), MaxTries: 1000},
+		&Random{Overhead: ov, UseAStar: true, Rand: rand.New(rand.NewSource(1)), MaxTries: 1000},
+		&HostingSearch{Overhead: ov, Rand: rand.New(rand.NewSource(1)), MaxTries: 1000},
+	} {
+		got, err := m.Map(c, v)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if err := got.Validate(ov); err != nil {
+			t.Fatalf("%s violates overhead-adjusted constraints: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestRandomSpreadsGuests(t *testing.T) {
+	// Statistical sanity: with 40 roomy hosts and 100 guests, a random
+	// placement should touch many hosts (vs hosting's affinity packing).
+	c, v := paperSetup(t, 9, 100, 0.015)
+	r := &Random{Rand: rand.New(rand.NewSource(10)), MaxTries: 1000}
+	m, err := r.Map(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for _, n := range m.GuestHost {
+		used[int(n)] = true
+	}
+	if len(used) < 30 {
+		t.Fatalf("random placement used only %d hosts", len(used))
+	}
+}
+
+func TestHMNBeatsRandomOnObjective(t *testing.T) {
+	// The headline claim of Table 2: HMN's objective is well below the
+	// random baselines on a moderately loaded torus.
+	c, v := paperSetup(t, 11, 100, 0.015)
+	hmn, err := (&core.HMN{}).Map(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := (&Random{UseAStar: true, Rand: rand.New(rand.NewSource(12)), MaxTries: 1000}).Map(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := cluster.VMMOverhead{}
+	if hmn.Objective(ov) >= ra.Objective(ov) {
+		t.Fatalf("HMN objective %.1f not below RA %.1f", hmn.Objective(ov), ra.Objective(ov))
+	}
+}
+
+func TestDefaultRNGAndTries(t *testing.T) {
+	// nil Rand and zero MaxTries take defaults without panicking.
+	c, v := paperSetup(t, 13, 50, 0.015)
+	if _, err := (&Random{}).Map(c, v); err != nil {
+		t.Fatalf("defaulted R failed: %v", err)
+	}
+	if _, err := (&HostingSearch{}).Map(c, v); err != nil {
+		t.Fatalf("defaulted HS failed: %v", err)
+	}
+}

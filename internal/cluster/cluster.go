@@ -1,0 +1,154 @@
+// Package cluster models the physical environment of the paper (§3.1): a
+// cluster of workstations, each running a virtual machine monitor, joined
+// by an arbitrary network topology. Nodes of the underlying graph are
+// either hosts — with CPU (MIPS), memory (MB) and storage (GB) capacities
+// given by the proc/mem/stor functions of §3.2 — or switches, which relay
+// traffic but cannot run guests.
+//
+// The package also provides the Ledger, the residual-resource bookkeeping
+// used by every mapping heuristic: it deducts the VMM's own consumption up
+// front (§3.1), tracks per-host memory/storage/CPU and per-link bandwidth
+// as guests and paths are placed, and exposes the residual bandwidth view
+// that the routing searches in internal/graph consult.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Host is one workstation of the cluster. Node is its vertex in the
+// cluster graph; Proc, Mem and Stor are the proc/mem/stor capacity
+// functions of §3.2 (MIPS, MB, GB).
+type Host struct {
+	Node graph.NodeID
+	Name string
+	Proc float64
+	Mem  int64
+	Stor float64
+}
+
+// VMMOverhead is the share of each host's resources consumed by the
+// virtual machine monitor itself. Per §3.1 it is deducted from every
+// host's availability before any mapping takes place.
+type VMMOverhead struct {
+	Proc float64
+	Mem  int64
+	Stor float64
+}
+
+// Cluster binds a physical network graph to the subset of its nodes that
+// are hosts. Remaining nodes are switches: they participate in routing but
+// hold no guests and no capacities. A Cluster is immutable after New and
+// safe for concurrent use.
+type Cluster struct {
+	net       *graph.Graph
+	hosts     []Host
+	hostIndex []int // node -> index into hosts, or -1 for switches
+}
+
+// New validates and assembles a cluster. Every host node must exist in
+// net, appear at most once, and have non-negative capacities.
+func New(net *graph.Graph, hosts []Host) (*Cluster, error) {
+	if net == nil {
+		return nil, errors.New("cluster: nil network graph")
+	}
+	idx := make([]int, net.NumNodes())
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i, h := range hosts {
+		if h.Node < 0 || int(h.Node) >= net.NumNodes() {
+			return nil, fmt.Errorf("cluster: host %d node %d outside graph with %d nodes", i, h.Node, net.NumNodes())
+		}
+		if idx[h.Node] != -1 {
+			return nil, fmt.Errorf("cluster: node %d claimed by two hosts", h.Node)
+		}
+		if h.Proc < 0 || h.Mem < 0 || h.Stor < 0 {
+			return nil, fmt.Errorf("cluster: host %d (node %d) has negative capacity", i, h.Node)
+		}
+		idx[h.Node] = i
+	}
+	return &Cluster{net: net, hosts: append([]Host(nil), hosts...), hostIndex: idx}, nil
+}
+
+// Net returns the physical network graph.
+func (c *Cluster) Net() *graph.Graph { return c.net }
+
+// NumHosts returns the number of host nodes.
+func (c *Cluster) NumHosts() int { return len(c.hosts) }
+
+// Hosts returns the hosts in declaration order. The slice is owned by the
+// cluster and must not be modified.
+func (c *Cluster) Hosts() []Host { return c.hosts }
+
+// HostByIndex returns the i-th host (declaration order).
+func (c *Cluster) HostByIndex(i int) Host { return c.hosts[i] }
+
+// IsHost reports whether node is a host (as opposed to a switch).
+func (c *Cluster) IsHost(node graph.NodeID) bool {
+	if node < 0 || int(node) >= len(c.hostIndex) {
+		return false
+	}
+	return c.hostIndex[node] != -1
+}
+
+// HostAt returns the host occupying node, or false if node is a switch or
+// out of range.
+func (c *Cluster) HostAt(node graph.NodeID) (Host, bool) {
+	if !c.IsHost(node) {
+		return Host{}, false
+	}
+	return c.hosts[c.hostIndex[node]], true
+}
+
+// hostIdx returns the dense host index of node, panicking on switches —
+// internal callers must have checked IsHost already.
+func (c *Cluster) hostIdx(node graph.NodeID) int {
+	i := -1
+	if int(node) < len(c.hostIndex) && node >= 0 {
+		i = c.hostIndex[node]
+	}
+	if i == -1 {
+		panic(fmt.Sprintf("cluster: node %d is not a host", node))
+	}
+	return i
+}
+
+// HostNodes returns the graph nodes of all hosts, in declaration order.
+func (c *Cluster) HostNodes() []graph.NodeID {
+	out := make([]graph.NodeID, len(c.hosts))
+	for i, h := range c.hosts {
+		out[i] = h.Node
+	}
+	return out
+}
+
+// TotalProc returns the summed CPU capacity of all hosts in MIPS.
+func (c *Cluster) TotalProc() float64 {
+	total := 0.0
+	for _, h := range c.hosts {
+		total += h.Proc
+	}
+	return total
+}
+
+// TotalMem returns the summed memory capacity of all hosts in MB.
+func (c *Cluster) TotalMem() int64 {
+	var total int64
+	for _, h := range c.hosts {
+		total += h.Mem
+	}
+	return total
+}
+
+// TotalStor returns the summed storage capacity of all hosts in GB.
+func (c *Cluster) TotalStor() float64 {
+	total := 0.0
+	for _, h := range c.hosts {
+		total += h.Stor
+	}
+	return total
+}

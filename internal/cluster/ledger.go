@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ErrOverheadExceedsCapacity is returned by NewLedger when the VMM
+// overhead alone does not fit on some host.
+var ErrOverheadExceedsCapacity = errors.New("cluster: VMM overhead exceeds a host's capacity")
+
+// Ledger tracks the residual resources of a cluster while a mapping is
+// being constructed: per-host CPU, memory and storage, and per-edge
+// bandwidth. The VMM overhead is deducted once at construction (§3.1).
+//
+// Memory and storage are hard constraints (Eq. 2 and Eq. 3): Fits and
+// ReserveGuest enforce them. CPU is deliberately *not* a constraint —
+// it is the quantity the objective function balances (§3.2) — so residual
+// CPU may go negative. Bandwidth is a hard constraint per physical link
+// (Eq. 9).
+//
+// A Ledger belongs to a single mapping attempt and is not safe for
+// concurrent use; concurrent experiments each build their own.
+type Ledger struct {
+	c           *Cluster
+	proc        []float64 // residual CPU per host index (may go negative)
+	mem         []int64   // residual memory per host index
+	stor        []float64 // residual storage per host index
+	bw          []float64 // residual bandwidth per edge ID
+	quarantined []bool    // per host index: no new guests accepted
+	cutEdges    []bool    // per edge ID: carries no new traffic
+}
+
+// NewLedger returns a ledger initialised to each host's capacity minus the
+// VMM overhead and each edge's installed bandwidth. It fails with
+// ErrOverheadExceedsCapacity if any host cannot even hold the VMM.
+func NewLedger(c *Cluster, overhead VMMOverhead) (*Ledger, error) {
+	l := &Ledger{
+		c:           c,
+		proc:        make([]float64, len(c.hosts)),
+		mem:         make([]int64, len(c.hosts)),
+		stor:        make([]float64, len(c.hosts)),
+		bw:          make([]float64, c.net.NumEdges()),
+		quarantined: make([]bool, len(c.hosts)),
+		cutEdges:    make([]bool, c.net.NumEdges()),
+	}
+	for i, h := range c.hosts {
+		l.proc[i] = h.Proc - overhead.Proc
+		l.mem[i] = h.Mem - overhead.Mem
+		l.stor[i] = h.Stor - overhead.Stor
+		if l.mem[i] < 0 || l.stor[i] < 0 || l.proc[i] < 0 {
+			return nil, fmt.Errorf("%w: host %q (node %d)", ErrOverheadExceedsCapacity, h.Name, h.Node)
+		}
+	}
+	for _, e := range c.net.Edges() {
+		l.bw[e.ID] = e.Bandwidth
+	}
+	return l, nil
+}
+
+// Cluster returns the cluster this ledger accounts for.
+func (l *Ledger) Cluster() *Cluster { return l.c }
+
+// Clone returns an independent copy of the ledger, used for what-if
+// evaluation during the Migration stage and by retrying baselines.
+func (l *Ledger) Clone() *Ledger {
+	return &Ledger{
+		c:           l.c,
+		proc:        append([]float64(nil), l.proc...),
+		mem:         append([]int64(nil), l.mem...),
+		stor:        append([]float64(nil), l.stor...),
+		bw:          append([]float64(nil), l.bw...),
+		quarantined: append([]bool(nil), l.quarantined...),
+		cutEdges:    append([]bool(nil), l.cutEdges...),
+	}
+}
+
+// Fits reports whether a guest demanding mem MB and stor GB satisfies the
+// hard constraints (Eq. 2, Eq. 3) on the host at node. CPU is not checked
+// — per §3.2 it is the optimisation variable, not a constraint.
+func (l *Ledger) Fits(node graph.NodeID, mem int64, stor float64) bool {
+	i := l.c.hostIdx(node)
+	return !l.quarantined[i] && l.mem[i] >= mem && l.stor[i] >= stor
+}
+
+// Quarantine marks the host at node as accepting no further guests:
+// Fits reports false and ReserveGuest refuses, while resources already
+// reserved there remain accounted until released. Mapping heuristics
+// driven by Fits thus route around the host. Used to model host
+// failures and administrative draining.
+//
+// Quarantine a host between mapping attempts, not while one is running:
+// the Migration stage assumes it can restore a reservation it just
+// released on the same host.
+func (l *Ledger) Quarantine(node graph.NodeID) {
+	l.quarantined[l.c.hostIdx(node)] = true
+}
+
+// Quarantined reports whether the host at node is quarantined.
+func (l *Ledger) Quarantined(node graph.NodeID) bool {
+	return l.quarantined[l.c.hostIdx(node)]
+}
+
+// Unquarantine readmits the host at node.
+func (l *Ledger) Unquarantine(node graph.NodeID) {
+	l.quarantined[l.c.hostIdx(node)] = false
+}
+
+// ReserveGuest deducts a guest's demands from the host at node. It returns
+// an error (leaving the ledger untouched) when memory or storage would go
+// negative; residual CPU is allowed to go negative.
+func (l *Ledger) ReserveGuest(node graph.NodeID, proc float64, mem int64, stor float64) error {
+	i := l.c.hostIdx(node)
+	if l.quarantined[i] {
+		return fmt.Errorf("cluster: host node %d is quarantined", node)
+	}
+	if l.mem[i] < mem {
+		return fmt.Errorf("cluster: host node %d: memory %dMB short of %dMB demand", node, l.mem[i], mem)
+	}
+	if l.stor[i] < stor {
+		return fmt.Errorf("cluster: host node %d: storage %.1fGB short of %.1fGB demand", node, l.stor[i], stor)
+	}
+	l.proc[i] -= proc
+	l.mem[i] -= mem
+	l.stor[i] -= stor
+	return nil
+}
+
+// ReleaseGuest returns a guest's demands to the host at node. It is the
+// inverse of ReserveGuest and is used when the Migration stage moves a
+// guest away.
+func (l *Ledger) ReleaseGuest(node graph.NodeID, proc float64, mem int64, stor float64) {
+	i := l.c.hostIdx(node)
+	l.proc[i] += proc
+	l.mem[i] += mem
+	l.stor[i] += stor
+}
+
+// ResidualProc returns the residual CPU of the host at node in MIPS.
+func (l *Ledger) ResidualProc(node graph.NodeID) float64 { return l.proc[l.c.hostIdx(node)] }
+
+// ResidualMem returns the residual memory of the host at node in MB.
+func (l *Ledger) ResidualMem(node graph.NodeID) int64 { return l.mem[l.c.hostIdx(node)] }
+
+// ResidualStor returns the residual storage of the host at node in GB.
+func (l *Ledger) ResidualStor(node graph.NodeID) float64 { return l.stor[l.c.hostIdx(node)] }
+
+// ResidualProcAll returns a copy of the residual CPU of every host, in
+// host declaration order — the rproc vector of Eq. 11 that the objective
+// function (Eq. 10) takes the population standard deviation of.
+func (l *Ledger) ResidualProcAll() []float64 {
+	return append([]float64(nil), l.proc...)
+}
+
+// ResidualBandwidth returns the residual bandwidth of the given edge,
+// or 0 while the edge is cut.
+func (l *Ledger) ResidualBandwidth(edgeID int) float64 {
+	if l.cutEdges[edgeID] {
+		return 0
+	}
+	return l.bw[edgeID]
+}
+
+// CutEdge marks a physical link as carrying no new traffic: its residual
+// bandwidth reads as zero (so every path search routes around it) and
+// ReserveBandwidth refuses paths that cross it. Bandwidth already
+// reserved on it stays accounted until released. Models link failures
+// and maintenance.
+func (l *Ledger) CutEdge(edgeID int) { l.cutEdges[edgeID] = true }
+
+// EdgeCut reports whether the edge is currently cut.
+func (l *Ledger) EdgeCut(edgeID int) bool { return l.cutEdges[edgeID] }
+
+// RestoreEdge readmits a previously cut edge.
+func (l *Ledger) RestoreEdge(edgeID int) { l.cutEdges[edgeID] = false }
+
+// BandwidthFunc returns a residual-bandwidth view suitable for the search
+// algorithms in internal/graph. The view reads the live ledger: it
+// reflects reservations made after it was obtained.
+func (l *Ledger) BandwidthFunc() graph.BandwidthFunc {
+	return func(edgeID int) float64 { return l.ResidualBandwidth(edgeID) }
+}
+
+// ReserveBandwidth deducts bw Mbps from every edge of path, checking all
+// edges before modifying any so that a failure leaves the ledger
+// untouched. The trivial (intra-host) path reserves nothing.
+func (l *Ledger) ReserveBandwidth(path graph.Path, bw float64) error {
+	for _, eid := range path.Edges {
+		if l.cutEdges[eid] {
+			return fmt.Errorf("cluster: edge %d is cut", eid)
+		}
+		if l.bw[eid] < bw {
+			return fmt.Errorf("cluster: edge %d residual %.3fMbps short of %.3fMbps demand", eid, l.bw[eid], bw)
+		}
+	}
+	for _, eid := range path.Edges {
+		l.bw[eid] -= bw
+	}
+	return nil
+}
+
+// ReleaseBandwidth returns bw Mbps to every edge of path; the inverse of
+// ReserveBandwidth.
+func (l *Ledger) ReleaseBandwidth(path graph.Path, bw float64) {
+	for _, eid := range path.Edges {
+		l.bw[eid] += bw
+	}
+}

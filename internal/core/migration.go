@@ -1,0 +1,217 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/virtual"
+)
+
+// MigrationScope selects which hosts stage 2 may migrate from.
+type MigrationScope int
+
+const (
+	// ScopeMostLoaded is the paper's rule: only the most loaded host
+	// donates, and the stage ends when no move from it improves the
+	// objective (§4.2).
+	ScopeMostLoaded MigrationScope = iota
+	// ScopeAllHosts is the §6 "better heuristics" extension: when the
+	// most loaded host offers no improving move, the next most loaded
+	// hosts are tried before giving up — full steepest descent over
+	// single-guest moves. Strictly at least as good an objective for
+	// strictly more work; the optimality-gap experiment quantifies both.
+	ScopeAllHosts
+)
+
+// migrate is HMN stage 2 (§4.2): it improves load balance by reassigning
+// guests away from the most loaded host. At every iteration:
+//
+//   - the most loaded host is selected as the migration origin;
+//   - the guest chosen to move is the one on that host with the smallest
+//     total bandwidth of virtual links to co-located guests (moving it
+//     internalises the least traffic, minimising later physical-link use);
+//   - candidate destinations are tried from the least loaded host upward;
+//     the first host that fits the guest *and* lowers the load-balance
+//     factor (Eq. 10) receives it.
+//
+// The process repeats while the load-balance factor improves; when no
+// move from the most loaded host helps, the stage ends. maxMoves > 0 caps
+// the number of accepted migrations (ablation); 0 means unbounded.
+//
+// The function mutates assign and the ledger in place. It cannot fail:
+// a migration either strictly improves the objective or is not performed.
+func migrate(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric LoadMetric, maxMoves int) int {
+	return migrateScoped(led, v, assign, metric, maxMoves, ScopeMostLoaded)
+}
+
+// migrateScoped is migrate with a selectable donor scope (see
+// MigrationScope).
+func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric LoadMetric, maxMoves int, scope MigrationScope) int {
+	c := led.Cluster()
+	hosts := c.HostNodes()
+	if len(hosts) < 2 {
+		return 0
+	}
+
+	// Guests per host, maintained incrementally.
+	onHost := make(map[graph.NodeID][]virtual.GuestID, len(hosts))
+	for g, node := range assign {
+		onHost[node] = append(onHost[node], virtual.GuestID(g))
+	}
+
+	load := func(node graph.NodeID) float64 {
+		switch metric {
+		case LoadUtilization:
+			h, _ := c.HostAt(node)
+			if h.Proc <= 0 {
+				return 0
+			}
+			return 1 - led.ResidualProc(node)/h.Proc
+		default:
+			// Most loaded == least residual CPU; negate so that larger
+			// means more loaded under both metrics.
+			return -led.ResidualProc(node)
+		}
+	}
+
+	objective := func() float64 {
+		return stats.PopStdDev(led.ResidualProcAll())
+	}
+
+	// tryMoveFrom attempts the paper's move from one donor host: pick the
+	// cheapest victim (smallest co-located bandwidth) and the first
+	// destination, least loaded first, that fits it and lowers the
+	// objective. Reports whether a move was committed.
+	tryMoveFrom := func(origin graph.NodeID, current float64) bool {
+		guests := onHost[origin]
+		// Victim: guest with the smallest total vbw to co-located guests.
+		victim := guests[0]
+		best := coLocatedBW(v, assign, victim)
+		for _, g := range guests[1:] {
+			if w := coLocatedBW(v, assign, g); w < best || (w == best && g < victim) {
+				victim, best = g, w
+			}
+		}
+		guest := v.Guest(victim)
+
+		// Destinations: least loaded first.
+		cand := append([]graph.NodeID(nil), hosts...)
+		sort.SliceStable(cand, func(i, j int) bool {
+			a, b := load(cand[i]), load(cand[j])
+			if a != b {
+				return a < b
+			}
+			return cand[i] < cand[j]
+		})
+
+		for _, dest := range cand {
+			if dest == origin {
+				continue
+			}
+			if !led.Fits(dest, guest.Mem, guest.Stor) {
+				continue
+			}
+			// What-if objective: only origin and dest residuals change.
+			led.ReleaseGuest(origin, guest.Proc, guest.Mem, guest.Stor)
+			if err := led.ReserveGuest(dest, guest.Proc, guest.Mem, guest.Stor); err != nil {
+				// Fits was checked; only a racing mutation could land
+				// here. Restore and skip.
+				mustReserve(led, origin, guest)
+				continue
+			}
+			if after := objective(); after < current {
+				assign[victim] = dest
+				onHost[origin] = removeGuest(onHost[origin], victim)
+				onHost[dest] = append(onHost[dest], victim)
+				return true
+			}
+			// No improvement: undo.
+			led.ReleaseGuest(dest, guest.Proc, guest.Mem, guest.Stor)
+			mustReserve(led, origin, guest)
+		}
+		return false
+	}
+
+	moves := 0
+	for {
+		if maxMoves > 0 && moves >= maxMoves {
+			return moves
+		}
+		current := objective()
+
+		// Donors: hosts with guests, most loaded first (ties by node ID
+		// for determinism). Hosts without guests are skipped — on a
+		// heterogeneous cluster a weak host may have the least residual
+		// CPU while running nothing, and it offers no guest to migrate.
+		var donors []graph.NodeID
+		for _, n := range hosts {
+			if len(onHost[n]) > 0 {
+				donors = append(donors, n)
+			}
+		}
+		if len(donors) == 0 {
+			return moves
+		}
+		sort.SliceStable(donors, func(i, j int) bool {
+			a, b := load(donors[i]), load(donors[j])
+			if a != b {
+				return a > b
+			}
+			return donors[i] < donors[j]
+		})
+		if scope == ScopeMostLoaded {
+			donors = donors[:1]
+		}
+
+		moved := false
+		for _, origin := range donors {
+			if tryMoveFrom(origin, current) {
+				moves++
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return moves
+		}
+	}
+}
+
+func mustReserve(led *cluster.Ledger, node graph.NodeID, g virtual.Guest) {
+	if err := led.ReserveGuest(node, g.Proc, g.Mem, g.Stor); err != nil {
+		panic("core: failed to restore a released reservation: " + err.Error())
+	}
+}
+
+// coLocatedBW sums the bandwidth of g's virtual links whose other
+// endpoint currently shares g's host — the migration cost metric of §4.2.
+func coLocatedBW(v *virtual.Env, assign []graph.NodeID, g virtual.GuestID) float64 {
+	node := assign[g]
+	total := 0.0
+	for _, lid := range v.LinksOf(g) {
+		link := v.Link(lid)
+		if assign[link.Other(g)] == node {
+			total += link.BW
+		}
+	}
+	return total
+}
+
+func removeGuest(gs []virtual.GuestID, g virtual.GuestID) []virtual.GuestID {
+	for i, x := range gs {
+		if x == g {
+			return append(gs[:i], gs[i+1:]...)
+		}
+	}
+	return gs
+}
+
+// MigrationStats reports what stage 2 did; exposed for the ablation
+// benchmarks through HMN.MapWithStats.
+type MigrationStats struct {
+	Moves           int
+	ObjectiveBefore float64
+	ObjectiveAfter  float64
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mapping"
+	"repro/internal/virtual"
+)
+
+// Pool is the paper's §6 vision of the emulator's mapping layer: "offer
+// to the emulator a pool of different heuristics that might be selected
+// according to the emulated scenario". It runs every member on the same
+// instance and returns the best valid mapping according to Score.
+//
+// Because the members run on independent ledgers, a Pool also covers the
+// scenarios where HMN itself fails near the feasibility boundary (§5.2's
+// closing remark): any member finding a valid mapping rescues the run.
+type Pool struct {
+	// Members are tried in order; at least one is required.
+	Members []Mapper
+	// Score ranks valid mappings; lower wins. Nil means the paper's
+	// objective function (Eq. 10) with no VMM overhead.
+	Score func(*mapping.Mapping) float64
+	// Overhead is used by the default Score only (the members carry
+	// their own overhead configuration).
+	Overhead cluster.VMMOverhead
+}
+
+// ErrEmptyPool is returned by Map when the pool has no members.
+var ErrEmptyPool = errors.New("core: pool has no members")
+
+// Name implements Mapper.
+func (p *Pool) Name() string { return "Pool" }
+
+// Map runs every member and returns the best-scoring valid mapping. It
+// fails only when every member fails, returning the members' errors
+// joined.
+func (p *Pool) Map(c *cluster.Cluster, v *virtual.Env) (*mapping.Mapping, error) {
+	if len(p.Members) == 0 {
+		return nil, ErrEmptyPool
+	}
+	score := p.Score
+	if score == nil {
+		score = func(m *mapping.Mapping) float64 { return m.Objective(p.Overhead) }
+	}
+	var (
+		best      *mapping.Mapping
+		bestScore float64
+		errs      []error
+	)
+	for _, member := range p.Members {
+		m, err := member.Map(c, v)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", member.Name(), err))
+			continue
+		}
+		if s := score(m); best == nil || s < bestScore {
+			best, bestScore = m, s
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: every pool member failed: %w", errors.Join(errs...))
+	}
+	return best, nil
+}
+
+var _ Mapper = (*Pool)(nil)

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/virtual"
+)
+
+// Session manages a cluster shared by several emulation experiments over
+// time: virtual environments are mapped incrementally against the
+// residual resources left by the environments already deployed, and
+// releasing an environment returns its hosts' memory, storage and CPU
+// and its paths' bandwidth to the pool.
+//
+// The paper assumes "the entire cluster is available for a single tester
+// per time" (§3.2); a session generalises that to the multi-tester
+// testbed its §6 envisions (and to the HMN-C consolidation use case,
+// where freed hosts host the next experiment). Each environment is still
+// mapped by a plain Mapper — HMN by default — against a ledger primed
+// with the current residuals.
+//
+// A Session is safe for concurrent use; Map and Release serialise on an
+// internal mutex (mapping attempts must observe consistent residuals).
+type Session struct {
+	mu       sync.Mutex
+	led      *cluster.Ledger
+	mapper   sessionMapper
+	overhead cluster.VMMOverhead
+	active   map[*mapping.Mapping]bool
+}
+
+// sessionMapper is the subset of mappers a session can drive
+// incrementally: they must accept a pre-primed ledger. HMN and its
+// variants qualify; the retrying baselines do not (they rebuild ledgers
+// internally).
+type sessionMapper interface {
+	mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) error
+}
+
+// mapOnLedger runs the three HMN stages against an existing ledger.
+func (h *HMN) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) error {
+	if err := hosting(led, v, m.GuestHost, !h.DisableHostResort); err != nil {
+		return fmt.Errorf("HMN hosting stage: %w", err)
+	}
+	if !h.DisableMigration {
+		migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope)
+	}
+	if err := network(led, v, m.GuestHost, m.LinkPath, h.NetworkOrder, h.AStar, h.Rand); err != nil {
+		return fmt.Errorf("HMN networking stage: %w", err)
+	}
+	return nil
+}
+
+// mapOnLedger runs Hosting, consolidation and Networking against an
+// existing ledger.
+func (x *Consolidator) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) error {
+	if err := hosting(led, v, m.GuestHost, true); err != nil {
+		return fmt.Errorf("HMN-C hosting stage: %w", err)
+	}
+	consolidate(led, v, m.GuestHost, x.MaxPasses)
+	if err := network(led, v, m.GuestHost, m.LinkPath, OrderDescendingBW, x.AStar, nil); err != nil {
+		return fmt.Errorf("HMN-C networking stage: %w", err)
+	}
+	return nil
+}
+
+// NewSession opens a session on c with the VMM overhead deducted once.
+// mapper selects the placement algorithm for every environment; nil
+// means a default HMN. Only HMN and Consolidator values are accepted.
+func NewSession(c *cluster.Cluster, overhead cluster.VMMOverhead, mapper Mapper) (*Session, error) {
+	led, err := cluster.NewLedger(c, overhead)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	var sm sessionMapper
+	switch m := mapper.(type) {
+	case nil:
+		sm = &HMN{Overhead: overhead}
+	case sessionMapper:
+		sm = m
+	default:
+		return nil, fmt.Errorf("session: mapper %s cannot run incrementally (needs a ledger-driven mapper such as HMN or HMN-C)", mapper.Name())
+	}
+	return &Session{
+		led:      led,
+		mapper:   sm,
+		overhead: overhead,
+		active:   make(map[*mapping.Mapping]bool),
+	}, nil
+}
+
+// Cluster returns the session's cluster.
+func (s *Session) Cluster() *cluster.Cluster { return s.led.Cluster() }
+
+// Active returns the number of environments currently deployed.
+func (s *Session) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
+// ResidualProc returns a snapshot of the residual CPU per host, in host
+// declaration order — the live rproc vector across all deployed
+// environments.
+func (s *Session) ResidualProc() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.led.ResidualProcAll()
+}
+
+// Map deploys v against the session's current residual resources. On
+// failure the residuals are left exactly as they were (the attempt runs
+// on a clone and commits atomically).
+func (s *Session) Map(v *virtual.Env) (*mapping.Mapping, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	attempt := s.led.Clone()
+	m := mapping.New(s.led.Cluster(), v)
+	if err := s.mapper.mapOnLedger(attempt, v, m); err != nil {
+		return nil, err
+	}
+	s.led = attempt
+	s.active[m] = true
+	return m, nil
+}
+
+// FailHost models the failure (or administrative draining) of one host:
+// no future deployment will place guests on it, and every currently
+// active environment that has guests there is evicted from the session —
+// its healthy-host resources and path bandwidth are returned, and the
+// affected mappings are reported so their owners can redeploy with Map
+// (which will route around the failed host). Unaffected environments
+// keep running untouched.
+func (s *Session) FailHost(node graph.NodeID) (affected []*mapping.Mapping, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.led.Cluster().IsHost(node) {
+		return nil, fmt.Errorf("core: node %d is not a host", node)
+	}
+	for m := range s.active {
+		uses := false
+		for _, h := range m.GuestHost {
+			if h == node {
+				uses = true
+				break
+			}
+		}
+		if uses {
+			affected = append(affected, m)
+		}
+	}
+	// Evict before quarantining: release must restore resources on the
+	// failing host too, so the ledger stays consistent if the host is
+	// later readmitted.
+	for _, m := range affected {
+		s.releaseLocked(m)
+	}
+	s.led.Quarantine(node)
+	sort.Slice(affected, func(i, j int) bool {
+		return fmt.Sprintf("%p", affected[i]) < fmt.Sprintf("%p", affected[j])
+	})
+	return affected, nil
+}
+
+// FailLink models the failure of one physical link: no future routing
+// will cross it, and every active environment whose paths use it is
+// evicted (resources returned) and reported for redeployment. Guests are
+// unaffected directly — only the routing changes — but the environment
+// is remapped as a whole, since its remaining paths hold reservations
+// sized for the old routing.
+func (s *Session) FailLink(edgeID int) (affected []*mapping.Mapping, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if edgeID < 0 || edgeID >= s.led.Cluster().Net().NumEdges() {
+		return nil, fmt.Errorf("core: edge %d out of range", edgeID)
+	}
+	for m := range s.active {
+		uses := false
+	scan:
+		for _, p := range m.LinkPath {
+			for _, eid := range p.Edges {
+				if eid == edgeID {
+					uses = true
+					break scan
+				}
+			}
+		}
+		if uses {
+			affected = append(affected, m)
+		}
+	}
+	for _, m := range affected {
+		s.releaseLocked(m)
+	}
+	s.led.CutEdge(edgeID)
+	sort.Slice(affected, func(i, j int) bool {
+		return fmt.Sprintf("%p", affected[i]) < fmt.Sprintf("%p", affected[j])
+	})
+	return affected, nil
+}
+
+// RestoreLink readmits a previously failed physical link.
+func (s *Session) RestoreLink(edgeID int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if edgeID < 0 || edgeID >= s.led.Cluster().Net().NumEdges() {
+		return fmt.Errorf("core: edge %d out of range", edgeID)
+	}
+	s.led.RestoreEdge(edgeID)
+	return nil
+}
+
+// RestoreHost readmits a previously failed host.
+func (s *Session) RestoreHost(node graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.led.Cluster().IsHost(node) {
+		return fmt.Errorf("core: node %d is not a host", node)
+	}
+	s.led.Unquarantine(node)
+	return nil
+}
+
+// ErrNotActive is returned by Release for a mapping the session does not
+// currently hold.
+var ErrNotActive = errors.New("core: mapping is not active in this session")
+
+// Release tears an environment down, returning every resource it held.
+func (s *Session) Release(m *mapping.Mapping) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.active[m] {
+		return ErrNotActive
+	}
+	s.releaseLocked(m)
+	return nil
+}
+
+func (s *Session) releaseLocked(m *mapping.Mapping) {
+	for g, node := range m.GuestHost {
+		guest := m.Env.Guest(virtual.GuestID(g))
+		s.led.ReleaseGuest(node, guest.Proc, guest.Mem, guest.Stor)
+	}
+	for l, p := range m.LinkPath {
+		s.led.ReleaseBandwidth(p, m.Env.Link(l).BW)
+	}
+	delete(s.active, m)
+}

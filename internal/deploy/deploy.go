@@ -1,0 +1,252 @@
+// Package deploy turns a validated mapping into the concrete deployment
+// artifacts an emulation controller pushes to each cluster host — the
+// "build the virtual system" step of the automated emulation framework
+// the paper's mapping heuristic belongs to (§1, its reference [4]).
+//
+// For every host the plan carries:
+//
+//   - the virtual machines to instantiate (with CPU cap, memory and disk
+//     sizes taken from the guest demands, and an overlay IP per guest);
+//   - traffic-shaping rules that impose each virtual link's *emulated*
+//     properties: the flow is rate-limited to vbw and artificially
+//     delayed by (vlat - physical path latency), so the tester observes
+//     exactly the network they described regardless of where the guests
+//     landed (Eq. 8 guarantees the artificial delay is non-negative);
+//   - software forwarding entries for every virtual link whose physical
+//     path crosses intermediate *hosts* (switch hops forward in
+//     hardware and need none).
+//
+// Plans are plain data (JSON-serialisable) plus a shell renderer that
+// emits ip/tc-style commands per host for inspection or hand application.
+package deploy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/virtual"
+)
+
+// VMSpec is one virtual machine to instantiate on a host.
+type VMSpec struct {
+	Guest  virtual.GuestID `json:"guest"`
+	Name   string          `json:"name"`
+	IP     string          `json:"ip"`
+	MIPS   float64         `json:"mips"`
+	MemMB  int64           `json:"mem_mb"`
+	DiskGB float64         `json:"disk_gb"`
+}
+
+// ShapingRule imposes a virtual link's emulated bandwidth and latency on
+// the traffic between two guests. Rules are installed at both endpoint
+// hosts (egress each way); DelayMs is the artificial delay that tops the
+// physical path latency up to the virtual link's target.
+type ShapingRule struct {
+	Link     int     `json:"link"`
+	SrcIP    string  `json:"src_ip"`
+	DstIP    string  `json:"dst_ip"`
+	RateMbps float64 `json:"rate_mbps"`
+	DelayMs  float64 `json:"delay_ms"`
+}
+
+// RouteEntry is a software-forwarding entry on an intermediate host of a
+// multi-hop virtual-link path.
+type RouteEntry struct {
+	Link    int          `json:"link"`
+	DstIP   string       `json:"dst_ip"`
+	NextHop graph.NodeID `json:"next_hop_node"`
+}
+
+// HostPlan is everything one host must apply.
+type HostPlan struct {
+	Node    graph.NodeID  `json:"node"`
+	Name    string        `json:"name"`
+	VMs     []VMSpec      `json:"vms,omitempty"`
+	Shaping []ShapingRule `json:"shaping,omitempty"`
+	Routes  []RouteEntry  `json:"routes,omitempty"`
+}
+
+// Plan is the full deployment: one entry per host that has anything to
+// do, in host declaration order.
+type Plan struct {
+	Hosts []HostPlan `json:"hosts"`
+}
+
+// GuestIP returns the overlay address of a guest: 10.x.y.z with the
+// (1-based) guest number packed into the lower 24 bits. Supports up to
+// ~16.7 million guests, far beyond any emulation.
+func GuestIP(g virtual.GuestID) string {
+	n := uint32(g) + 1
+	return fmt.Sprintf("10.%d.%d.%d", (n>>16)&0xff, (n>>8)&0xff, n&0xff)
+}
+
+// Build converts a mapping into a deployment plan. The mapping is
+// re-validated first: emitting artifacts for an infeasible mapping would
+// push broken state onto the testbed.
+func Build(m *mapping.Mapping, overhead cluster.VMMOverhead) (*Plan, error) {
+	if err := m.Validate(overhead); err != nil {
+		return nil, fmt.Errorf("deploy: refusing to plan an invalid mapping: %w", err)
+	}
+	c, env, net := m.Cluster, m.Env, m.Cluster.Net()
+
+	plans := make(map[graph.NodeID]*HostPlan)
+	hostPlan := func(node graph.NodeID) *HostPlan {
+		hp := plans[node]
+		if hp == nil {
+			h, _ := c.HostAt(node)
+			hp = &HostPlan{Node: node, Name: h.Name}
+			plans[node] = hp
+		}
+		return hp
+	}
+
+	// VMs.
+	for g, node := range m.GuestHost {
+		guest := env.Guest(virtual.GuestID(g))
+		hp := hostPlan(node)
+		hp.VMs = append(hp.VMs, VMSpec{
+			Guest:  guest.ID,
+			Name:   guest.Name,
+			IP:     GuestIP(guest.ID),
+			MIPS:   guest.Proc,
+			MemMB:  guest.Mem,
+			DiskGB: guest.Stor,
+		})
+	}
+
+	// Shaping and routing per virtual link.
+	for _, link := range env.Links() {
+		p := m.LinkPath[link.ID]
+		pathLat := p.Latency(net)
+		delay := link.Lat - pathLat
+		if delay < 0 {
+			// Eq. 8 makes this impossible for a validated mapping.
+			return nil, fmt.Errorf("deploy: link %d path latency %.3f exceeds target %.3f", link.ID, pathLat, link.Lat)
+		}
+		srcHost, dstHost := m.GuestHost[link.From], m.GuestHost[link.To]
+		fromIP, toIP := GuestIP(link.From), GuestIP(link.To)
+
+		// Egress shaping at both endpoint hosts (links are undirected).
+		hostPlan(srcHost).Shaping = append(hostPlan(srcHost).Shaping, ShapingRule{
+			Link: link.ID, SrcIP: fromIP, DstIP: toIP, RateMbps: link.BW, DelayMs: delay,
+		})
+		if dstHost != srcHost || link.From != link.To {
+			hostPlan(dstHost).Shaping = append(hostPlan(dstHost).Shaping, ShapingRule{
+				Link: link.ID, SrcIP: toIP, DstIP: fromIP, RateMbps: link.BW, DelayMs: delay,
+			})
+		}
+
+		// Forwarding entries on intermediate *hosts* of the path. The
+		// validator accepts the path in either orientation, so resolve
+		// the orientation before walking it.
+		nodes := p.Nodes
+		if len(nodes) > 1 && nodes[0] != srcHost {
+			nodes = reversed(nodes)
+		}
+		for i := 1; i+1 < len(nodes); i++ {
+			mid := nodes[i]
+			if !c.IsHost(mid) {
+				continue // switch: forwards in hardware
+			}
+			hostPlan(mid).Routes = append(hostPlan(mid).Routes,
+				RouteEntry{Link: link.ID, DstIP: toIP, NextHop: nodes[i+1]},
+				RouteEntry{Link: link.ID, DstIP: fromIP, NextHop: nodes[i-1]},
+			)
+		}
+		// Endpoint hosts of multi-hop paths also need a first-hop route.
+		if len(nodes) > 1 {
+			hostPlan(srcHost).Routes = append(hostPlan(srcHost).Routes,
+				RouteEntry{Link: link.ID, DstIP: toIP, NextHop: nodes[1]})
+			hostPlan(dstHost).Routes = append(hostPlan(dstHost).Routes,
+				RouteEntry{Link: link.ID, DstIP: fromIP, NextHop: nodes[len(nodes)-2]})
+		}
+	}
+
+	// Deterministic host order.
+	out := &Plan{}
+	for _, h := range c.Hosts() {
+		if hp := plans[h.Node]; hp != nil {
+			sortHostPlan(hp)
+			out.Hosts = append(out.Hosts, *hp)
+		}
+	}
+	return out, nil
+}
+
+func reversed(nodes []graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, len(nodes))
+	for i, n := range nodes {
+		out[len(nodes)-1-i] = n
+	}
+	return out
+}
+
+func sortHostPlan(hp *HostPlan) {
+	sort.Slice(hp.VMs, func(i, j int) bool { return hp.VMs[i].Guest < hp.VMs[j].Guest })
+	sort.Slice(hp.Shaping, func(i, j int) bool {
+		if hp.Shaping[i].Link != hp.Shaping[j].Link {
+			return hp.Shaping[i].Link < hp.Shaping[j].Link
+		}
+		return hp.Shaping[i].SrcIP < hp.Shaping[j].SrcIP
+	})
+	sort.Slice(hp.Routes, func(i, j int) bool {
+		if hp.Routes[i].Link != hp.Routes[j].Link {
+			return hp.Routes[i].Link < hp.Routes[j].Link
+		}
+		return hp.Routes[i].DstIP < hp.Routes[j].DstIP
+	})
+}
+
+// HostFor returns the plan entry for a node, or false when the host has
+// nothing to do.
+func (p *Plan) HostFor(node graph.NodeID) (HostPlan, bool) {
+	for _, hp := range p.Hosts {
+		if hp.Node == node {
+			return hp, true
+		}
+	}
+	return HostPlan{}, false
+}
+
+// TotalVMs counts the virtual machines across the plan.
+func (p *Plan) TotalVMs() int {
+	n := 0
+	for _, hp := range p.Hosts {
+		n += len(hp.VMs)
+	}
+	return n
+}
+
+// RenderShell emits ip/tc-style provisioning commands for one host plan.
+// The exact tool syntax is illustrative (Linux tc/netem and ip route);
+// the point is a reviewable, deterministic artifact per host.
+func (hp HostPlan) RenderShell() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# host %s (node %d)\n", hp.Name, hp.Node)
+	for _, vm := range hp.VMs {
+		fmt.Fprintf(&b, "vm create --name %s --ip %s --mips %.0f --mem %dM --disk %.0fG\n",
+			vm.Name, vm.IP, vm.MIPS, vm.MemMB, vm.DiskGB)
+	}
+	for _, r := range hp.Routes {
+		fmt.Fprintf(&b, "ip route add %s/32 via node-%d # vlink %d\n", r.DstIP, r.NextHop, r.Link)
+	}
+	for _, s := range hp.Shaping {
+		fmt.Fprintf(&b, "tc flow %s->%s rate %.3fMbit delay %.2fms # vlink %d\n",
+			s.SrcIP, s.DstIP, s.RateMbps, s.DelayMs, s.Link)
+	}
+	return b.String()
+}
+
+// RenderShell emits the provisioning commands for every host, separated
+// by blank lines, in plan order.
+func (p *Plan) RenderShell() string {
+	parts := make([]string, len(p.Hosts))
+	for i, hp := range p.Hosts {
+		parts[i] = hp.RenderShell()
+	}
+	return strings.Join(parts, "\n")
+}

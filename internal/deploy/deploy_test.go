@@ -1,0 +1,325 @@
+package deploy
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/topology"
+	"repro/internal/virtual"
+	"repro/internal/workload"
+)
+
+// lineFixture: hosts on nodes 0,1,2 in a line; guests a@0, b@2 with a
+// virtual link a-b routed 0-1-2 (path latency 10ms against a 30ms
+// budget), plus c co-located with a.
+func lineFixture(t *testing.T) *mapping.Mapping {
+	t.Helper()
+	specs := []topology.HostSpec{
+		{Name: "h0", Proc: 2000, Mem: 2048, Stor: 2000},
+		{Name: "h1", Proc: 2000, Mem: 2048, Stor: 2000},
+		{Name: "h2", Proc: 2000, Mem: 2048, Stor: 2000},
+	}
+	c, err := topology.Line(specs, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := virtual.NewEnv()
+	env.AddGuest("a", 100, 256, 50)
+	env.AddGuest("b", 100, 256, 50)
+	env.AddGuest("c", 100, 256, 50)
+	env.AddLink(0, 1, 2, 30) // a-b, inter-host over 2 hops
+	env.AddLink(0, 2, 1, 20) // a-c, intra-host
+	m := mapping.New(c, env)
+	m.GuestHost[0], m.GuestHost[1], m.GuestHost[2] = 0, 2, 0
+	m.LinkPath[0] = graph.Path{Nodes: []graph.NodeID{0, 1, 2}, Edges: []int{0, 1}}
+	m.LinkPath[1] = graph.TrivialPath(0)
+	if err := m.Validate(cluster.VMMOverhead{}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGuestIP(t *testing.T) {
+	if GuestIP(0) != "10.0.0.1" {
+		t.Fatalf("GuestIP(0) = %s", GuestIP(0))
+	}
+	if GuestIP(255) != "10.0.1.0" {
+		t.Fatalf("GuestIP(255) = %s", GuestIP(255))
+	}
+	if GuestIP(65535) != "10.1.0.0" {
+		t.Fatalf("GuestIP(65535) = %s", GuestIP(65535))
+	}
+	seen := map[string]bool{}
+	for g := virtual.GuestID(0); g < 3000; g++ {
+		ip := GuestIP(g)
+		if seen[ip] {
+			t.Fatalf("duplicate IP %s", ip)
+		}
+		seen[ip] = true
+	}
+}
+
+func TestBuildVMPlacement(t *testing.T) {
+	m := lineFixture(t)
+	plan, err := Build(m, cluster.VMMOverhead{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalVMs() != 3 {
+		t.Fatalf("TotalVMs = %d, want 3", plan.TotalVMs())
+	}
+	h0, ok := plan.HostFor(0)
+	if !ok || len(h0.VMs) != 2 {
+		t.Fatalf("host 0 should run 2 VMs, got %+v", h0.VMs)
+	}
+	if h0.VMs[0].Name != "a" || h0.VMs[1].Name != "c" {
+		t.Fatalf("host 0 VMs wrong: %+v", h0.VMs)
+	}
+	if h0.VMs[0].MemMB != 256 || h0.VMs[0].MIPS != 100 || h0.VMs[0].DiskGB != 50 {
+		t.Fatalf("VM spec lost demands: %+v", h0.VMs[0])
+	}
+	h2, ok := plan.HostFor(2)
+	if !ok || len(h2.VMs) != 1 || h2.VMs[0].Name != "b" {
+		t.Fatalf("host 2 should run b: %+v", h2)
+	}
+}
+
+func TestBuildShapingDelayTopsUpLatency(t *testing.T) {
+	m := lineFixture(t)
+	plan, err := Build(m, cluster.VMMOverhead{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, _ := plan.HostFor(0)
+	var rule *ShapingRule
+	for i := range h0.Shaping {
+		if h0.Shaping[i].Link == 0 {
+			rule = &h0.Shaping[i]
+			break
+		}
+	}
+	if rule == nil {
+		t.Fatal("host 0 missing shaping for link 0")
+	}
+	// Path latency 10ms, target 30ms: artificial delay 20ms.
+	if rule.DelayMs != 20 {
+		t.Fatalf("delay = %v, want 20", rule.DelayMs)
+	}
+	if rule.RateMbps != 2 {
+		t.Fatalf("rate = %v, want 2", rule.RateMbps)
+	}
+	// Reverse direction installed at host 2.
+	h2, _ := plan.HostFor(2)
+	found := false
+	for _, s := range h2.Shaping {
+		if s.Link == 0 && s.SrcIP == GuestIP(1) && s.DstIP == GuestIP(0) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("host 2 missing the reverse shaping rule")
+	}
+}
+
+func TestBuildIntraHostShaping(t *testing.T) {
+	// Intra-host links still get full shaping (delay = vlat, path lat 0)
+	// so the tester observes the described network.
+	m := lineFixture(t)
+	plan, err := Build(m, cluster.VMMOverhead{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, _ := plan.HostFor(0)
+	count := 0
+	for _, s := range h0.Shaping {
+		if s.Link == 1 {
+			count++
+			if s.DelayMs != 20 {
+				t.Fatalf("intra-host delay = %v, want the full 20ms budget", s.DelayMs)
+			}
+		}
+	}
+	if count != 2 {
+		t.Fatalf("intra-host link needs both directions on the shared host, got %d", count)
+	}
+}
+
+func TestBuildRoutesOnIntermediateHosts(t *testing.T) {
+	m := lineFixture(t)
+	plan, err := Build(m, cluster.VMMOverhead{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, ok := plan.HostFor(1)
+	if !ok {
+		t.Fatal("intermediate host 1 has forwarding work")
+	}
+	if len(h1.VMs) != 0 {
+		t.Fatal("host 1 runs no VMs")
+	}
+	if len(h1.Routes) != 2 {
+		t.Fatalf("host 1 needs 2 forwarding entries (one per direction), got %d", len(h1.Routes))
+	}
+	// Endpoints carry first-hop routes.
+	h0, _ := plan.HostFor(0)
+	if len(h0.Routes) != 1 || h0.Routes[0].NextHop != 1 {
+		t.Fatalf("host 0 first-hop route wrong: %+v", h0.Routes)
+	}
+}
+
+func TestBuildNoRoutesThroughSwitches(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Switched(specs, 64, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := workload.GenerateEnv(workload.HighLevelParams(60, 0.02), rng)
+	m, err := (&core.HMN{}).Map(c, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(m, cluster.VMMOverhead{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hp := range plan.Hosts {
+		if !c.IsHost(hp.Node) {
+			t.Fatalf("plan contains non-host node %d", hp.Node)
+		}
+		// On the switched topology paths are host-switch-host: no
+		// intermediate-host forwarding exists, but endpoints still get
+		// first-hop routes towards the switch.
+		for _, r := range hp.Routes {
+			if c.IsHost(r.NextHop) {
+				t.Fatalf("switched first hop should be a switch, got host %d", r.NextHop)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsInvalidMapping(t *testing.T) {
+	m := lineFixture(t)
+	m.GuestHost[1] = mapping.Unassigned
+	if _, err := Build(m, cluster.VMMOverhead{}); err == nil {
+		t.Fatal("invalid mapping must be refused")
+	}
+}
+
+func TestBuildHandlesReversedPaths(t *testing.T) {
+	m := lineFixture(t)
+	// Same path written destination-first.
+	m.LinkPath[0] = graph.Path{Nodes: []graph.NodeID{2, 1, 0}, Edges: []int{1, 0}}
+	plan, err := Build(m, cluster.VMMOverhead{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, _ := plan.HostFor(0)
+	if len(h0.Routes) != 1 || h0.Routes[0].NextHop != 1 {
+		t.Fatalf("reversed path broke route orientation: %+v", h0.Routes)
+	}
+}
+
+func TestRenderShell(t *testing.T) {
+	m := lineFixture(t)
+	plan, err := Build(m, cluster.VMMOverhead{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := plan.RenderShell()
+	for _, want := range []string{
+		"# host h0 (node 0)",
+		"vm create --name a --ip 10.0.0.1",
+		"tc flow 10.0.0.1->10.0.0.2 rate 2.000Mbit delay 20.00ms",
+		"ip route add 10.0.0.2/32 via node-2",
+	} {
+		if !strings.Contains(sh, want) {
+			t.Fatalf("rendered shell missing %q:\n%s", want, sh)
+		}
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	m := lineFixture(t)
+	plan, err := Build(m, cluster.VMMOverhead{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalVMs() != plan.TotalVMs() || len(back.Hosts) != len(plan.Hosts) {
+		t.Fatal("JSON round trip lost structure")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Torus2D(specs, 8, 5, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := workload.GenerateEnv(workload.HighLevelParams(80, 0.02), rng)
+	m, err := (&core.HMN{}).Map(c, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := Build(m, cluster.VMMOverhead{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Build(m, cluster.VMMOverhead{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.RenderShell() != p2.RenderShell() {
+		t.Fatal("plans are not deterministic")
+	}
+}
+
+func TestBuildEndToEndOnPaperWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Torus2D(specs, 8, 5, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := workload.GenerateEnv(workload.LowLevelParams(800, 0.01), rng)
+	m, err := (&core.HMN{}).Map(c, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(m, cluster.VMMOverhead{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalVMs() != 800 {
+		t.Fatalf("plan lost VMs: %d", plan.TotalVMs())
+	}
+	// Every virtual link appears as shaping on both endpoint hosts:
+	// 2 rules per link in total.
+	rules := 0
+	for _, hp := range plan.Hosts {
+		rules += len(hp.Shaping)
+		for _, s := range hp.Shaping {
+			if s.DelayMs < 0 {
+				t.Fatalf("negative artificial delay: %+v", s)
+			}
+		}
+	}
+	if rules != 2*env.NumLinks() {
+		t.Fatalf("shaping rules = %d, want %d", rules, 2*env.NumLinks())
+	}
+}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV streams every run of the sweep as CSV — one row per
+// (scenario, repetition, topology, heuristic) — for external analysis or
+// plotting of the tables and Figure 1. Failed runs carry ok=false and
+// empty objective/experiment columns.
+func (r *Results) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"scenario", "ratio", "density", "class", "topology", "heuristic", "rep",
+		"ok", "objective", "map_seconds", "experiment_seconds",
+		"guests", "links", "inter_host_links",
+		"hosting_seconds", "migration_seconds", "networking_seconds", "migration_moves",
+		"error",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, run := range r.Runs {
+		row := []string{
+			run.Scenario.Label(),
+			fmt.Sprintf("%g", run.Scenario.Ratio),
+			fmt.Sprintf("%g", run.Scenario.Density),
+			run.Scenario.Class.String(),
+			run.Topology.String(),
+			run.Heuristic,
+			fmt.Sprintf("%d", run.Rep),
+			fmt.Sprintf("%t", run.OK),
+			"", "", "",
+			fmt.Sprintf("%d", run.Guests),
+			fmt.Sprintf("%d", run.Links),
+			fmt.Sprintf("%d", run.InterHostLinks),
+			fmt.Sprintf("%.6f", run.Stages.HostingSeconds),
+			fmt.Sprintf("%.6f", run.Stages.MigrationSeconds),
+			fmt.Sprintf("%.6f", run.Stages.NetworkingSeconds),
+			fmt.Sprintf("%d", run.Stages.Migration.Moves),
+			run.Err,
+		}
+		row[9] = fmt.Sprintf("%.6f", run.MapSeconds)
+		if run.OK {
+			row[8] = fmt.Sprintf("%.4f", run.Objective)
+			row[10] = fmt.Sprintf("%.6f", run.ExpSeconds)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

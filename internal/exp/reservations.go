@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ReservationConfig parameterises the bandwidth-reservation ablation:
+// the same mappings' transfers are simulated once at their reserved
+// rates (the Eq. 9 service model) and once under best-effort max-min
+// sharing of the raw physical links. The comparison quantifies what the
+// admission control the paper's constraints encode is worth — and how
+// much HMN's co-location (fewer, shorter physical flows) softens the
+// difference compared to a random placement.
+type ReservationConfig struct {
+	Instances int   // default 10
+	Hosts     int   // default 40
+	Guests    int   // default 200
+	Seed      int64 // default 1
+}
+
+// ReservationResult aggregates the ablation.
+type ReservationResult struct {
+	Instances int
+	// Mean transfer makespans (seconds) per (mapper, network mode).
+	HMNReserved, HMNBestEffort float64
+	RAReserved, RABestEffort   float64
+	// Mean inter-host flow counts per mapper.
+	HMNFlows, RAFlows float64
+	// Worst fair-share-to-reserved rate ratio observed across all flows
+	// and instances, per mapper. A value >= 1 certifies that even under
+	// best-effort max-min sharing every virtual link would receive at
+	// least its emulated bandwidth — the guarantee Eq. 9's admission
+	// control encodes.
+	HMNMinRateRatio, RAMinRateRatio float64
+}
+
+// String renders the result for the CLI.
+func (r ReservationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bandwidth-reservation ablation over %d torus instances\n", r.Instances)
+	fmt.Fprintf(&b, "  transfer makespan (s):   reserved   best-effort\n")
+	fmt.Fprintf(&b, "    HMN (%5.1f flows)     %9.3f   %11.3f\n", r.HMNFlows, r.HMNReserved, r.HMNBestEffort)
+	fmt.Fprintf(&b, "    RA  (%5.1f flows)     %9.3f   %11.3f\n", r.RAFlows, r.RAReserved, r.RABestEffort)
+	fmt.Fprintf(&b, "  worst fair-share/reserved rate ratio: HMN %.1f, RA %.1f (>= 1 certifies Eq. 9)\n",
+		r.HMNMinRateRatio, r.RAMinRateRatio)
+	fmt.Fprintf(&b, "  Reserved paces each transfer at its emulated vbw (fidelity);\n")
+	fmt.Fprintf(&b, "  best-effort finishes early by consuming idle physical capacity.\n")
+	return b.String()
+}
+
+// RunReservations executes the ablation on high-level torus instances.
+func RunReservations(cfg ReservationConfig) ReservationResult {
+	if cfg.Instances <= 0 {
+		cfg.Instances = 10
+	}
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 40
+	}
+	if cfg.Guests <= 0 {
+		cfg.Guests = 200
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	var hmnRes, hmnBE, raRes, raBE, hmnFlows, raFlows []float64
+	hmnRatio, raRatio := math.Inf(1), math.Inf(1)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Instances; i++ {
+		specs := workload.GenerateHosts(clusterParams(cfg.Hosts), rng)
+		c, err := buildCluster(specs, Torus)
+		if err != nil {
+			panic(err)
+		}
+		env := workload.GenerateEnv(workload.HighLevelParams(cfg.Guests, 0.02), rng)
+
+		measure := func(mapper core.Mapper, res, be, flows *[]float64, worst *float64) {
+			m, err := mapper.Map(c, env)
+			if err != nil {
+				return
+			}
+			cfgR := sim.ExperimentConfig{BaseSeconds: 0.001, TransferSeconds: 1}
+			cfgB := cfgR
+			cfgB.Network = sim.BestEffort
+			*res = append(*res, sim.RunExperiment(m, cfgR).TransferMakespan)
+			*be = append(*be, sim.RunExperiment(m, cfgB).TransferMakespan)
+			*flows = append(*flows, float64(m.Summarize(cfgR.Overhead).InterHostLinks))
+			// Fair-share fidelity certificate.
+			fl := make([]sim.Flow, env.NumLinks())
+			for _, link := range env.Links() {
+				fl[link.ID] = sim.Flow{Path: m.LinkPath[link.ID], Data: 1}
+			}
+			rates := sim.FlowRates(c.Net(), c.Net().NominalBandwidth(), fl)
+			for _, link := range env.Links() {
+				if link.BW <= 0 {
+					continue
+				}
+				if ratio := rates[link.ID] / link.BW; ratio < *worst {
+					*worst = ratio
+				}
+			}
+		}
+		measure(&core.HMN{}, &hmnRes, &hmnBE, &hmnFlows, &hmnRatio)
+		measure(&baseline.Random{UseAStar: true, Rand: rand.New(rand.NewSource(cfg.Seed + int64(i))), MaxTries: 300},
+			&raRes, &raBE, &raFlows, &raRatio)
+	}
+	return ReservationResult{
+		Instances:       cfg.Instances,
+		HMNReserved:     stats.Mean(hmnRes),
+		HMNBestEffort:   stats.Mean(hmnBE),
+		RAReserved:      stats.Mean(raRes),
+		RABestEffort:    stats.Mean(raBE),
+		HMNFlows:        stats.Mean(hmnFlows),
+		RAFlows:         stats.Mean(raFlows),
+		HMNMinRateRatio: hmnRatio,
+		RAMinRateRatio:  raRatio,
+	}
+}

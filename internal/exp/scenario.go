@@ -1,0 +1,109 @@
+// Package exp is the experiment harness of the reproduction: it re-runs
+// the paper's evaluation (§5) — the scenario matrix of guest:host ratios,
+// graph densities and workload classes on the 2-D torus and switched
+// clusters, repeated with fresh random inputs — and renders the results in
+// the shape of Table 2 (objective function and failures), Table 3
+// (emulated experiment execution time), Figure 1 (HMN mapping time versus
+// virtual links mapped) and the §5.2 objective/execution-time correlation.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Class is the workload class of a scenario (§5: high-level application
+// testing vs low-level protocol testing).
+type Class int
+
+const (
+	// HighLevel: grid/cloud middleware testing — large VMs, ratios up to
+	// 10:1 (Table 1, right column).
+	HighLevel Class = iota
+	// LowLevel: P2P protocol testing — tiny VMs, ratios 20:1 and above
+	// (Table 1, middle column).
+	LowLevel
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	if c == LowLevel {
+		return "low-level"
+	}
+	return "high-level"
+}
+
+// Topology selects one of the paper's two cluster topologies.
+type Topology int
+
+const (
+	// Torus is the 2-D torus cluster (8x5 for 40 hosts).
+	Torus Topology = iota
+	// Switched is the cascaded 64-port switch cluster.
+	Switched
+)
+
+// String returns the topology name as the tables print it.
+func (t Topology) String() string {
+	if t == Switched {
+		return "Switched"
+	}
+	return "2-D Torus"
+}
+
+// Scenario is one row of the paper's result tables: a guest:host ratio,
+// a virtual-graph density and the workload class the ratio implies.
+type Scenario struct {
+	Ratio   float64 // guests per host
+	Density float64
+	Class   Class
+}
+
+// Label renders the row header exactly as the paper does, e.g.
+// "2.5:1 0.015".
+func (s Scenario) Label() string {
+	r := fmt.Sprintf("%g", s.Ratio)
+	return fmt.Sprintf("%s:1 %g", r, s.Density)
+}
+
+// Guests returns the number of guests for a cluster of the given size.
+func (s Scenario) Guests(hosts int) int {
+	return int(s.Ratio*float64(hosts) + 0.5)
+}
+
+// Params builds the workload generator parameters for this scenario.
+func (s Scenario) Params(hosts int) workload.VirtualParams {
+	if s.Class == LowLevel {
+		return workload.LowLevelParams(s.Guests(hosts), s.Density)
+	}
+	return workload.HighLevelParams(s.Guests(hosts), s.Density)
+}
+
+// PaperScenarios returns the 16 scenario rows of Table 2/Table 3: the
+// high-level ratios {2.5, 5, 7.5, 10}:1 at densities {0.015, 0.02, 0.025}
+// and the low-level ratios {20, 30, 40, 50}:1 at density 0.01.
+func PaperScenarios() []Scenario {
+	var out []Scenario
+	for _, d := range []float64{0.015, 0.02, 0.025} {
+		for _, r := range []float64{2.5, 5, 7.5, 10} {
+			out = append(out, Scenario{Ratio: r, Density: d, Class: HighLevel})
+		}
+	}
+	for _, r := range []float64{20, 30, 40, 50} {
+		out = append(out, Scenario{Ratio: r, Density: 0.01, Class: LowLevel})
+	}
+	return out
+}
+
+// QuickScenarios returns a reduced matrix — one density, the two extreme
+// high-level ratios and the two extreme low-level ratios — for smoke runs
+// and CI.
+func QuickScenarios() []Scenario {
+	return []Scenario{
+		{Ratio: 2.5, Density: 0.015, Class: HighLevel},
+		{Ratio: 10, Density: 0.015, Class: HighLevel},
+		{Ratio: 20, Density: 0.01, Class: LowLevel},
+		{Ratio: 50, Density: 0.01, Class: LowLevel},
+	}
+}

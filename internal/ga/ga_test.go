@@ -1,0 +1,165 @@
+package ga
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/virtual"
+	"repro/internal/workload"
+)
+
+func paperInstance(t *testing.T, seed int64, guests int) (*cluster.Cluster, *virtual.Env) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Torus2D(specs, 8, 5, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, workload.GenerateEnv(workload.HighLevelParams(guests, 0.02), rng)
+}
+
+func TestGAProducesValidMapping(t *testing.T) {
+	c, v := paperInstance(t, 1, 80)
+	g := &Mapper{Rand: rand.New(rand.NewSource(2)), Generations: 40}
+	m, err := g.Map(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(cluster.VMMOverhead{}); err != nil {
+		t.Fatalf("GA produced an invalid mapping: %v", err)
+	}
+}
+
+func TestGANeverWorseThanHMNSeed(t *testing.T) {
+	// The seeded elite plus elitism guarantee the evolved placement's
+	// objective never exceeds HMN's.
+	for seed := int64(3); seed < 6; seed++ {
+		c, v := paperInstance(t, seed, 100)
+		hmn, err := (&core.HMN{}).Map(c, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := &Mapper{Rand: rand.New(rand.NewSource(seed)), Generations: 30}
+		m, err := g.Map(c, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov := cluster.VMMOverhead{}
+		if m.Objective(ov) > hmn.Objective(ov)+1e-9 {
+			t.Fatalf("seed %d: GA %.2f worse than HMN %.2f", seed, m.Objective(ov), hmn.Objective(ov))
+		}
+	}
+}
+
+func TestGAImprovesOnHMN(t *testing.T) {
+	// On at least one paper-sized instance the GA should find a strictly
+	// better placement than the greedy heuristic (the optimality-gap
+	// experiment shows plenty of headroom).
+	c, v := paperInstance(t, 7, 100)
+	hmn, err := (&core.HMN{}).Map(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Mapper{Rand: rand.New(rand.NewSource(8)), Generations: 120}
+	m, err := g.Map(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := cluster.VMMOverhead{}
+	if m.Objective(ov) >= hmn.Objective(ov) {
+		t.Fatalf("GA %.2f did not improve on HMN %.2f", m.Objective(ov), hmn.Objective(ov))
+	}
+}
+
+func TestGAWithoutSeed(t *testing.T) {
+	c, v := paperInstance(t, 9, 60)
+	g := &Mapper{Rand: rand.New(rand.NewSource(10)), Generations: 40, DisableSeed: true}
+	m, err := g.Map(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(cluster.VMMOverhead{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGADeterministicGivenSeed(t *testing.T) {
+	c, v := paperInstance(t, 11, 60)
+	run := func() float64 {
+		g := &Mapper{Rand: rand.New(rand.NewSource(12)), Generations: 25}
+		m, err := g.Map(c, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Objective(cluster.VMMOverhead{})
+	}
+	if run() != run() {
+		t.Fatal("GA not deterministic for a fixed seed")
+	}
+}
+
+func TestGAInfeasibleInstance(t *testing.T) {
+	specs := []topology.HostSpec{{Proc: 1000, Mem: 64, Stor: 10}, {Proc: 1000, Mem: 64, Stor: 10}, {Proc: 1000, Mem: 64, Stor: 10}}
+	c, err := topology.Ring(specs, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := virtual.NewEnv()
+	v.AddGuest("whale", 10, 4096, 10)
+	g := &Mapper{Rand: rand.New(rand.NewSource(1)), Generations: 5}
+	if _, err := g.Map(c, v); !errors.Is(err, core.ErrNoHostFits) {
+		t.Fatalf("want ErrNoHostFits, got %v", err)
+	}
+}
+
+func TestGARespectsOverhead(t *testing.T) {
+	c, v := paperInstance(t, 13, 60)
+	ov := cluster.VMMOverhead{Proc: 100, Mem: 128, Stor: 10}
+	g := &Mapper{Overhead: ov, Rand: rand.New(rand.NewSource(14)), Generations: 25}
+	m, err := g.Map(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(ov); err != nil {
+		t.Fatalf("GA violates overhead constraints: %v", err)
+	}
+}
+
+func TestGAName(t *testing.T) {
+	if (&Mapper{}).Name() != "GA" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestGADefaults(t *testing.T) {
+	p := (&Mapper{}).params()
+	if p.pop != 60 || p.gens != 120 || p.tk != 3 || p.elite != 2 || p.patience != 25 {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	if p.cx != 0.9 || p.mut != 0.02 {
+		t.Fatalf("rates wrong: %+v", p)
+	}
+	// Explicit values pass through.
+	p = (&Mapper{Population: 10, Generations: 5, TournamentK: 2, Elitism: 1,
+		Patience: -1, CrossoverRate: 0.5, MutationRate: 0.1}).params()
+	if p.pop != 10 || p.gens != 5 || p.patience != -1 || p.mut != 0.1 {
+		t.Fatalf("explicit params lost: %+v", p)
+	}
+}
+
+func TestGAEmptyEnvironment(t *testing.T) {
+	c, _ := paperInstance(t, 15, 10)
+	g := &Mapper{Rand: rand.New(rand.NewSource(1)), Generations: 3}
+	m, err := g.Map(c, virtual.NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(cluster.VMMOverhead{}); err != nil {
+		t.Fatal(err)
+	}
+}

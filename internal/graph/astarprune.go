@@ -1,0 +1,279 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// AStarPruneOptions tunes the modified 1-constrained A*Prune search.
+// The zero value is a valid, paper-faithful configuration.
+type AStarPruneOptions struct {
+	// MaxExpansions bounds the number of partial paths popped from the
+	// candidate set before the search gives up (returning not-found).
+	// 0 means unlimited. A*Prune is worst-case exponential; real mapping
+	// workloads stay far below any sensible bound, so this is a safety
+	// valve, not a tuning knob.
+	MaxExpansions int
+
+	// DisableDominance turns off Pareto-dominance pruning, falling back to
+	// the plain candidate-set behaviour of the paper's Algorithm 1. With
+	// dominance pruning on (the default), a partial path reaching a node
+	// with both a lower-or-equal bottleneck bandwidth and a
+	// higher-or-equal accumulated latency than a previously seen partial
+	// path at the same node is discarded. This is the standard A*Prune
+	// optimisation and does not change the result (verified against
+	// brute-force enumeration in the tests); it only bounds the candidate
+	// set on dense topologies such as the 2-D torus.
+	DisableDominance bool
+
+	// AR optionally supplies the precomputed Dijkstra latency table
+	// towards the destination (the paper's ar[] array). When nil it is
+	// computed internally. Callers mapping many virtual links that share
+	// a destination pass it in to avoid recomputation.
+	AR []float64
+}
+
+// AStarPrune implements the paper's modified 1-constrained A*Prune
+// (Algorithm 1, after Liu & Ramakrishnan): it finds a loop-free path from
+// origin to dest whose every edge has residual bandwidth of at least
+// bandwidth and whose total latency does not exceed latency, and among all
+// such paths returns one with the greatest bottleneck (minimum residual)
+// bandwidth. The rationale (§4.3) is to keep the links with the largest
+// spare capacity available for the virtual links still to be mapped.
+//
+// The search keeps a set of feasible partial paths ordered by bottleneck
+// bandwidth (a max-heap). Extensions are pruned when the extending edge
+// lacks residual bandwidth, when the node is already on the path (Eq. 7),
+// or when the accumulated latency plus the edge latency plus the Dijkstra
+// lower bound ar[h] to the destination exceeds the latency budget — the
+// admissibility test. (The paper's pseudo-code writes the test as
+// lat((d,h)) + ar[h] <= latency, omitting the accumulated term; that form
+// would admit latency-violating paths, so we include the accumulated
+// latency, which is also what the original A*Prune of Liu & Ramakrishnan
+// prescribes.)
+//
+// It returns the path and true on success. If origin == dest the trivial
+// path is returned. On failure (no feasible path, or MaxExpansions hit)
+// it returns a zero Path and false.
+func AStarPrune(g *Graph, origin, dest NodeID, bandwidth, latency float64, residual BandwidthFunc, opts *AStarPruneOptions) (Path, bool) {
+	if opts == nil {
+		opts = &AStarPruneOptions{}
+	}
+	if origin == dest {
+		return TrivialPath(origin), true
+	}
+	ar := opts.AR
+	if ar == nil {
+		ar = DijkstraLatency(g, dest)
+	}
+	if ar[origin] > latency {
+		return Path{}, false // even the latency-optimal path busts the budget
+	}
+
+	var dom []paretoSet
+	if !opts.DisableDominance {
+		dom = make([]paretoSet, g.NumNodes())
+	}
+
+	start := &apState{node: origin, edge: -1, bottleneck: math.Inf(1)}
+	pq := &apHeap{start}
+	expansions := 0
+	for pq.Len() > 0 {
+		best := heap.Pop(pq).(*apState)
+		if best.node == dest {
+			return best.path(g), true
+		}
+		expansions++
+		if opts.MaxExpansions > 0 && expansions > opts.MaxExpansions {
+			return Path{}, false
+		}
+		for _, eid := range g.Incident(best.node) {
+			e := g.Edge(eid)
+			h := e.Other(best.node)
+			if best.contains(h) {
+				continue // Eq. 7: no loops
+			}
+			if residual(eid) < bandwidth {
+				continue // Eq. 9: not enough spare bandwidth
+			}
+			accLat := best.accLat + e.Latency
+			if accLat+ar[h] > latency {
+				continue // admissibility: cannot reach dest within budget
+			}
+			bn := best.bottleneck
+			if r := residual(eid); r < bn {
+				bn = r
+			}
+			next := &apState{node: h, edge: eid, parent: best, bottleneck: bn, accLat: accLat, hops: best.hops + 1}
+			if dom != nil && !dom[h].insert(bn, accLat) {
+				continue // dominated by an already-seen partial path
+			}
+			heap.Push(pq, next)
+		}
+	}
+	return Path{}, false
+}
+
+// AStarPruneK generalises AStarPrune to the original formulation of Liu &
+// Ramakrishnan ("A*Prune: an algorithm for finding K shortest paths
+// subject to multiple constraints"): it returns up to k feasible
+// loop-free paths in descending bottleneck-bandwidth order (ties broken
+// by lower latency, then fewer hops). AStarPrune is exactly
+// AStarPruneK(..., 1). The candidate set is shared across the k
+// extractions, so the cost is one search, not k.
+//
+// Dominance pruning is forced off when k > 1: a dominated partial path
+// may still complete into one of the k best paths, so the optimisation is
+// only sound for the single-path query.
+func AStarPruneK(g *Graph, origin, dest NodeID, bandwidth, latency float64, residual BandwidthFunc, k int, opts *AStarPruneOptions) []Path {
+	if k <= 0 {
+		return nil
+	}
+	if opts == nil {
+		opts = &AStarPruneOptions{}
+	}
+	if origin == dest {
+		return []Path{TrivialPath(origin)}
+	}
+	ar := opts.AR
+	if ar == nil {
+		ar = DijkstraLatency(g, dest)
+	}
+	if ar[origin] > latency {
+		return nil
+	}
+
+	var dom []paretoSet
+	if k == 1 && !opts.DisableDominance {
+		dom = make([]paretoSet, g.NumNodes())
+	}
+
+	var found []Path
+	start := &apState{node: origin, edge: -1, bottleneck: math.Inf(1)}
+	pq := &apHeap{start}
+	expansions := 0
+	for pq.Len() > 0 && len(found) < k {
+		best := heap.Pop(pq).(*apState)
+		if best.node == dest {
+			found = append(found, best.path(g))
+			continue
+		}
+		expansions++
+		if opts.MaxExpansions > 0 && expansions > opts.MaxExpansions {
+			break
+		}
+		for _, eid := range g.Incident(best.node) {
+			e := g.Edge(eid)
+			h := e.Other(best.node)
+			if best.contains(h) {
+				continue
+			}
+			if residual(eid) < bandwidth {
+				continue
+			}
+			accLat := best.accLat + e.Latency
+			if accLat+ar[h] > latency {
+				continue
+			}
+			bn := best.bottleneck
+			if r := residual(eid); r < bn {
+				bn = r
+			}
+			next := &apState{node: h, edge: eid, parent: best, bottleneck: bn, accLat: accLat, hops: best.hops + 1}
+			if dom != nil && !dom[h].insert(bn, accLat) {
+				continue
+			}
+			heap.Push(pq, next)
+		}
+	}
+	return found
+}
+
+// apState is one feasible partial path, stored as a parent-linked list so
+// that extending a path costs O(1) instead of copying node slices.
+type apState struct {
+	node       NodeID
+	edge       int // edge taken to arrive at node; -1 at the origin
+	parent     *apState
+	bottleneck float64
+	accLat     float64
+	hops       int
+}
+
+func (s *apState) contains(n NodeID) bool {
+	for at := s; at != nil; at = at.parent {
+		if at.node == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *apState) path(g *Graph) Path {
+	nodes := make([]NodeID, s.hops+1)
+	edges := make([]int, s.hops)
+	at := s
+	for i := s.hops; at != nil; at = at.parent {
+		nodes[i] = at.node
+		if at.edge >= 0 {
+			edges[i-1] = at.edge
+		}
+		i--
+	}
+	return Path{Nodes: nodes, Edges: edges}
+}
+
+// apHeap orders states by descending bottleneck bandwidth; ties prefer
+// lower accumulated latency, then fewer hops, for deterministic results.
+type apHeap []*apState
+
+func (h apHeap) Len() int { return len(h) }
+func (h apHeap) Less(i, j int) bool {
+	if h[i].bottleneck != h[j].bottleneck {
+		return h[i].bottleneck > h[j].bottleneck
+	}
+	if h[i].accLat != h[j].accLat {
+		return h[i].accLat < h[j].accLat
+	}
+	return h[i].hops < h[j].hops
+}
+func (h apHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *apHeap) Push(x interface{}) { *h = append(*h, x.(*apState)) }
+func (h *apHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// paretoSet keeps the non-dominated (bottleneck, latency) pairs seen at a
+// node. A new pair dominates an old one when its bottleneck is >= and its
+// latency is <=; equal pairs count as dominated (the first arrival wins).
+type paretoSet struct {
+	pairs []paretoPair
+}
+
+type paretoPair struct {
+	bottleneck float64
+	latency    float64
+}
+
+// insert reports whether the pair is non-dominated; if so it is recorded
+// and any pairs it dominates are dropped.
+func (ps *paretoSet) insert(bottleneck, latency float64) bool {
+	for _, p := range ps.pairs {
+		if p.bottleneck >= bottleneck && p.latency <= latency {
+			return false
+		}
+	}
+	kept := ps.pairs[:0]
+	for _, p := range ps.pairs {
+		if !(bottleneck >= p.bottleneck && latency <= p.latency) {
+			kept = append(kept, p)
+		}
+	}
+	ps.pairs = append(kept, paretoPair{bottleneck, latency})
+	return true
+}

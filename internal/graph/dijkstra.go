@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// DijkstraLatency returns, for every node, the smallest accumulated
+// latency of any path from src to that node, ignoring bandwidth.
+// Unreachable nodes get +Inf. This is exactly the ar[] table that
+// Algorithm 1 of the paper precomputes towards the link destination (the
+// graph is undirected, so distances from the destination equal distances
+// to it) and serves as the admissible estimate that prunes infeasible
+// partial paths in A*Prune.
+func DijkstraLatency(g *Graph, src NodeID) []float64 {
+	dist := make([]float64, g.NumNodes())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.dist > dist[item.node] {
+			continue // stale entry
+		}
+		for _, eid := range g.Incident(item.node) {
+			e := g.Edge(eid)
+			v := e.Other(item.node)
+			if nd := item.dist + e.Latency; nd < dist[v] {
+				dist[v] = nd
+				heap.Push(pq, distItem{node: v, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraLatencyPath returns a minimum-latency path from src to dst and
+// true, or a zero Path and false if dst is unreachable. Ties are broken by
+// the order edges were added, making results deterministic.
+func DijkstraLatencyPath(g *Graph, src, dst NodeID) (Path, bool) {
+	dist := make([]float64, g.NumNodes())
+	prevEdge := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.dist > dist[item.node] {
+			continue
+		}
+		if item.node == dst {
+			break
+		}
+		for _, eid := range g.Incident(item.node) {
+			e := g.Edge(eid)
+			v := e.Other(item.node)
+			if nd := item.dist + e.Latency; nd < dist[v] {
+				dist[v] = nd
+				prevEdge[v] = eid
+				heap.Push(pq, distItem{node: v, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	// Reconstruct backwards.
+	var revNodes []NodeID
+	var revEdges []int
+	for at := dst; ; {
+		revNodes = append(revNodes, at)
+		eid := prevEdge[at]
+		if eid == -1 {
+			break
+		}
+		revEdges = append(revEdges, eid)
+		at = g.Edge(eid).Other(at)
+	}
+	p := Path{
+		Nodes: make([]NodeID, len(revNodes)),
+		Edges: make([]int, len(revEdges)),
+	}
+	for i, n := range revNodes {
+		p.Nodes[len(revNodes)-1-i] = n
+	}
+	for i, e := range revEdges {
+		p.Edges[len(revEdges)-1-i] = e
+	}
+	return p, true
+}
+
+type distItem struct {
+	node NodeID
+	dist float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDijkstraLatencyLine(t *testing.T) {
+	// 0 -(1)- 1 -(2)- 2 -(3)- 3
+	g := New(4)
+	g.AddEdge(0, 1, 10, 1)
+	g.AddEdge(1, 2, 10, 2)
+	g.AddEdge(2, 3, 10, 3)
+	dist := DijkstraLatency(g, 0)
+	want := []float64{0, 1, 3, 6}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Fatalf("dist[%d] = %v, want %v", i, dist[i], w)
+		}
+	}
+}
+
+func TestDijkstraLatencyPicksShorterRoute(t *testing.T) {
+	// Two routes 0->2: direct latency 10, via 1 latency 3.
+	g := New(3)
+	g.AddEdge(0, 2, 10, 10)
+	g.AddEdge(0, 1, 10, 1)
+	g.AddEdge(1, 2, 10, 2)
+	dist := DijkstraLatency(g, 0)
+	if dist[2] != 3 {
+		t.Fatalf("dist[2] = %v, want 3", dist[2])
+	}
+}
+
+func TestDijkstraLatencyUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1, 1)
+	dist := DijkstraLatency(g, 0)
+	if !math.IsInf(dist[2], 1) {
+		t.Fatalf("dist[2] = %v, want +Inf", dist[2])
+	}
+}
+
+func TestDijkstraLatencyPathReconstruction(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(1, 2, 1, 1)
+	g.AddEdge(2, 3, 1, 1)
+	g.AddEdge(0, 3, 1, 10) // slow direct edge
+	p, ok := DijkstraLatencyPath(g, 0, 3)
+	if !ok {
+		t.Fatal("path should exist")
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatalf("invalid path: %v", err)
+	}
+	if p.Latency(g) != 3 {
+		t.Fatalf("path latency = %v, want 3", p.Latency(g))
+	}
+	if p.Origin() != 0 || p.Destination() != 3 {
+		t.Fatalf("path endpoints wrong: %v", p)
+	}
+}
+
+func TestDijkstraLatencyPathTrivialAndUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1, 1)
+	p, ok := DijkstraLatencyPath(g, 0, 0)
+	if !ok || p.Len() != 0 || p.Origin() != 0 {
+		t.Fatal("src==dst should give the trivial path")
+	}
+	if _, ok := DijkstraLatencyPath(g, 0, 2); ok {
+		t.Fatal("node 2 is unreachable")
+	}
+}
+
+func TestDijkstraSymmetry(t *testing.T) {
+	// Undirected graph: dist(a->b) == dist(b->a).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnectedGraph(rng, 8, 6)
+		for a := 0; a < g.NumNodes(); a++ {
+			da := DijkstraLatency(g, NodeID(a))
+			for b := 0; b < g.NumNodes(); b++ {
+				db := DijkstraLatency(g, NodeID(b))
+				if math.Abs(da[b]-db[a]) > 1e-9 {
+					t.Fatalf("asymmetric distances %v vs %v", da[b], db[a])
+				}
+			}
+		}
+	}
+}
+
+// bruteForceShortest enumerates all simple paths and returns the minimum
+// latency, or +Inf when none exists.
+func bruteForceShortest(g *Graph, a, b NodeID) float64 {
+	best := math.Inf(1)
+	for _, p := range AllSimplePaths(g, a, b, 0) {
+		if l := p.Latency(g); l < best {
+			best = l
+		}
+	}
+	return best
+}
+
+func TestDijkstraMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(6)
+		g := randomConnectedGraph(rng, n, rng.Intn(6))
+		src := NodeID(rng.Intn(n))
+		dist := DijkstraLatency(g, src)
+		for v := 0; v < n; v++ {
+			want := bruteForceShortest(g, src, NodeID(v))
+			if NodeID(v) == src {
+				want = 0
+			}
+			if math.Abs(dist[v]-want) > 1e-9 {
+				t.Fatalf("trial %d: dist[%d] = %v, brute force = %v", trial, v, dist[v], want)
+			}
+		}
+	}
+}
+
+func TestDijkstraPathLatencyMatchesTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(8)
+		g := randomConnectedGraph(rng, n, rng.Intn(8))
+		src := NodeID(rng.Intn(n))
+		dst := NodeID(rng.Intn(n))
+		dist := DijkstraLatency(g, src)
+		p, ok := DijkstraLatencyPath(g, src, dst)
+		if !ok {
+			t.Fatal("connected graph: path must exist")
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("invalid path: %v", err)
+		}
+		if math.Abs(p.Latency(g)-dist[dst]) > 1e-9 {
+			t.Fatalf("path latency %v != table %v", p.Latency(g), dist[dst])
+		}
+	}
+}
+
+// Property: the triangle inequality holds on the Dijkstra distance tables.
+func TestDijkstraTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(8)
+		g := randomConnectedGraph(rng, n, rng.Intn(6))
+		tables := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			tables[i] = DijkstraLatency(g, NodeID(i))
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				for c := 0; c < n; c++ {
+					if tables[a][b] > tables[a][c]+tables[c][b]+1e-9 {
+						t.Fatalf("triangle inequality violated: d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v",
+							a, b, tables[a][b], a, c, c, b, tables[a][c]+tables[c][b])
+					}
+				}
+			}
+		}
+	}
+}

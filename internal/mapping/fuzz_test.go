@@ -1,0 +1,121 @@
+package mapping_test
+
+// Mutation fuzzing of the constraint validator: start from a known-valid
+// HMN mapping and apply random single mutations; the validator must
+// reject every mutation that provably breaks a constraint and must never
+// reject the unmutated mapping. (External test package: the internal one
+// cannot import internal/core without a cycle.)
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func validHMNMapping(t *testing.T, seed int64) *mapping.Mapping {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Torus2D(specs, 8, 5, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := workload.GenerateEnv(workload.HighLevelParams(80, 0.02), rng)
+	m, err := (&core.HMN{}).Map(c, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFuzzValidatorUnassignMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := validHMNMapping(t, 2)
+	for i := 0; i < 25; i++ {
+		mut := m.Clone()
+		g := rng.Intn(len(mut.GuestHost))
+		mut.GuestHost[g] = mapping.Unassigned
+		if err := mut.Validate(cluster.VMMOverhead{}); err == nil {
+			t.Fatalf("unassigning guest %d not caught", g)
+		}
+	}
+	if err := m.Validate(cluster.VMMOverhead{}); err != nil {
+		t.Fatalf("pristine mapping must stay valid: %v", err)
+	}
+}
+
+func TestFuzzValidatorSwitchPlacementMutation(t *testing.T) {
+	m := validHMNMapping(t, 3)
+	// The torus has no switches; point a guest at an out-of-graph node
+	// and at a node that is not a host in a switched variant.
+	mut := m.Clone()
+	mut.GuestHost[0] = graph.NodeID(m.Cluster.Net().NumNodes()) // out of range
+	if err := mut.Validate(cluster.VMMOverhead{}); err == nil {
+		t.Fatal("out-of-range host not caught")
+	}
+}
+
+func TestFuzzValidatorPathTamperMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := validHMNMapping(t, 4)
+	net := m.Cluster.Net()
+	tampered := 0
+	for i := 0; i < 200 && tampered < 25; i++ {
+		l := rng.Intn(len(m.LinkPath))
+		p := m.LinkPath[l]
+		if p.Len() == 0 {
+			continue
+		}
+		mut := m.Clone()
+		switch rng.Intn(3) {
+		case 0: // truncate the path: endpoint constraint breaks
+			mut.LinkPath[l] = graph.Path{
+				Nodes: append([]graph.NodeID(nil), p.Nodes[:len(p.Nodes)-1]...),
+				Edges: append([]int(nil), p.Edges[:len(p.Edges)-1]...),
+			}
+		case 1: // swap in a random edge: contiguity very likely breaks
+			mut.LinkPath[l].Edges[rng.Intn(p.Len())] = rng.Intn(net.NumEdges())
+		case 2: // drop the path entirely
+			mut.LinkPath[l] = graph.Path{}
+		}
+		tampered++
+		if err := mut.Validate(cluster.VMMOverhead{}); err == nil {
+			// Case 1 can accidentally pick the same edge — only that case
+			// may legitimately stay valid.
+			same := true
+			for j, e := range mut.LinkPath[l].Edges {
+				if e != m.LinkPath[l].Edges[j] {
+					same = false
+				}
+			}
+			if !same {
+				t.Fatalf("tampered path for link %d not caught: %v", l, mut.LinkPath[l])
+			}
+		}
+	}
+	if tampered == 0 {
+		t.Skip("no inter-host paths to tamper with")
+	}
+}
+
+func TestFuzzValidatorOverloadMutation(t *testing.T) {
+	// Move every guest onto one host: memory must eventually overflow.
+	m := validHMNMapping(t, 6)
+	mut := m.Clone()
+	target := mut.GuestHost[0]
+	for g := range mut.GuestHost {
+		mut.GuestHost[g] = target
+	}
+	for l := range mut.LinkPath {
+		mut.LinkPath[l] = graph.TrivialPath(target)
+	}
+	if err := mut.Validate(cluster.VMMOverhead{}); err == nil {
+		t.Fatal("80 guests on one 1-3GB host must overflow memory")
+	}
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/virtual"
+)
+
+func line3(t *testing.T, cap1, cap2 float64) *graph.Graph {
+	t.Helper()
+	g := graph.New(3)
+	g.AddEdge(0, 1, cap1, 1)
+	g.AddEdge(1, 2, cap2, 1)
+	return g
+}
+
+func TestSimulateFlowsSingle(t *testing.T) {
+	g := line3(t, 10, 10)
+	p := graph.Path{Nodes: []graph.NodeID{0, 1}, Edges: []int{0}}
+	done := SimulateFlows(g, g.NominalBandwidth(), []Flow{{Path: p, Data: 20}})
+	// 20 Mbit at 10 Mbps = 2s, plus 1ms latency.
+	if math.Abs(done[0]-2.001) > 1e-9 {
+		t.Fatalf("done = %v, want 2.001", done[0])
+	}
+}
+
+func TestSimulateFlowsFairSharing(t *testing.T) {
+	// Two equal flows share one 10 Mbps edge: 5 Mbps each. The first
+	// (10 Mbit) finishes at t=2; the second (20 Mbit) then gets the full
+	// 10 Mbps for its remaining 10 Mbit: t = 2 + 1 = 3.
+	g := line3(t, 10, 10)
+	p := graph.Path{Nodes: []graph.NodeID{0, 1}, Edges: []int{0}}
+	done := SimulateFlows(g, g.NominalBandwidth(), []Flow{
+		{Path: p, Data: 10},
+		{Path: p.Clone(), Data: 20},
+	})
+	if math.Abs(done[0]-2.001) > 1e-9 {
+		t.Fatalf("flow 0 done = %v, want 2.001", done[0])
+	}
+	if math.Abs(done[1]-3.001) > 1e-9 {
+		t.Fatalf("flow 1 done = %v, want 3.001", done[1])
+	}
+}
+
+func TestSimulateFlowsMaxMinTextbook(t *testing.T) {
+	// Classic max-min instance: edge caps 10 and 4. Flow A crosses both,
+	// flows B (edge 1) and C (edge 2) one each.
+	// Progressive filling: edge 2 fair share = 4/2 = 2 -> A and C fixed
+	// at 2. Edge 1 remaining = 10-2 = 8 -> B fixed at 8.
+	g := line3(t, 10, 4)
+	pa := graph.Path{Nodes: []graph.NodeID{0, 1, 2}, Edges: []int{0, 1}}
+	pb := graph.Path{Nodes: []graph.NodeID{0, 1}, Edges: []int{0}}
+	pc := graph.Path{Nodes: []graph.NodeID{1, 2}, Edges: []int{1}}
+	flows := []Flow{
+		{Path: pa, Data: 2}, // at 2 Mbps -> 1s (+2ms lat)
+		{Path: pb, Data: 8}, // at 8 Mbps -> 1s (+1ms)
+		{Path: pc, Data: 2}, // at 2 Mbps -> 1s (+1ms)
+	}
+	done := SimulateFlows(g, g.NominalBandwidth(), flows)
+	want := []float64{1.002, 1.001, 1.001}
+	for i := range want {
+		if math.Abs(done[i]-want[i]) > 1e-9 {
+			t.Fatalf("flow %d done = %v, want %v", i, done[i], want[i])
+		}
+	}
+}
+
+func TestSimulateFlowsTrivialAndZeroData(t *testing.T) {
+	g := line3(t, 10, 10)
+	done := SimulateFlows(g, g.NominalBandwidth(), []Flow{
+		{Path: graph.TrivialPath(0), Data: 100},
+		{Path: graph.Path{Nodes: []graph.NodeID{0, 1}, Edges: []int{0}}, Data: 0},
+	})
+	if done[0] != 0 {
+		t.Fatalf("intra-host flow done = %v, want 0", done[0])
+	}
+	if math.Abs(done[1]-0.001) > 1e-9 {
+		t.Fatalf("zero-data flow done = %v, want latency only", done[1])
+	}
+}
+
+func TestSimulateFlowsStarvation(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 0, 1) // zero-capacity link
+	p := graph.Path{Nodes: []graph.NodeID{0, 1}, Edges: []int{0}}
+	done := SimulateFlows(g, g.NominalBandwidth(), []Flow{{Path: p, Data: 1}})
+	if !math.IsInf(done[0], 1) {
+		t.Fatalf("starved flow must never complete, got %v", done[0])
+	}
+}
+
+func TestSimulateFlowsWorkConservation(t *testing.T) {
+	// Single shared edge: total data / capacity = last completion
+	// (transfer part), regardless of the split.
+	g := line3(t, 10, 10)
+	p := graph.Path{Nodes: []graph.NodeID{0, 1}, Edges: []int{0}}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		var flows []Flow
+		total := 0.0
+		for i := 0; i < 2+rng.Intn(5); i++ {
+			d := 1 + rng.Float64()*20
+			total += d
+			flows = append(flows, Flow{Path: p.Clone(), Data: d})
+		}
+		done := SimulateFlows(g, g.NominalBandwidth(), flows)
+		last := 0.0
+		for _, t := range done {
+			if t > last {
+				last = t
+			}
+		}
+		want := total/10 + 0.001
+		if math.Abs(last-want) > 1e-6 {
+			t.Fatalf("trial %d: makespan %v, want %v", trial, last, want)
+		}
+	}
+}
+
+func TestMaxMinRatesSumWithinCapacity(t *testing.T) {
+	// Property: on random graphs and flows, the allocation never exceeds
+	// any edge capacity and every flow with a feasible path gets a
+	// positive rate.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(6)
+		g := graph.New(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(graph.NodeID(i-1), graph.NodeID(i), 1+rng.Float64()*9, 1)
+		}
+		var flows []Flow
+		for f := 0; f < 1+rng.Intn(6); f++ {
+			a := rng.Intn(n - 1)
+			b := a + 1 + rng.Intn(n-a-1)
+			nodes := make([]graph.NodeID, 0, b-a+1)
+			edges := make([]int, 0, b-a)
+			for x := a; x <= b; x++ {
+				nodes = append(nodes, graph.NodeID(x))
+				if x > a {
+					edges = append(edges, x-1)
+				}
+			}
+			flows = append(flows, Flow{Path: graph.Path{Nodes: nodes, Edges: edges}, Data: 1})
+		}
+		active := make([]bool, len(flows))
+		for i := range active {
+			active[i] = true
+		}
+		rates := maxMinRates(g, g.NominalBandwidth(), flows, active)
+		use := make([]float64, g.NumEdges())
+		for i, f := range flows {
+			if rates[i] <= 0 {
+				t.Fatalf("trial %d: flow %d starved on a positive-capacity path", trial, i)
+			}
+			for _, eid := range f.Path.Edges {
+				use[eid] += rates[i]
+			}
+		}
+		for eid := 0; eid < g.NumEdges(); eid++ {
+			if use[eid] > g.Edge(eid).Bandwidth+1e-9 {
+				t.Fatalf("trial %d: edge %d oversubscribed: %v > %v",
+					trial, eid, use[eid], g.Edge(eid).Bandwidth)
+			}
+		}
+	}
+}
+
+func TestRunExperimentBestEffortVsReserved(t *testing.T) {
+	// A deliberately congested placement: many virtual links squeezed
+	// over one physical edge. Reserved mode is immune (each flow moves at
+	// its own vbw); best-effort sharing of the single link takes longer
+	// when the total demand exceeds its capacity.
+	g := graph.New(2)
+	edge := g.AddEdge(0, 1, 10, 1)
+	c, err := cluster.New(g, []cluster.Host{
+		{Node: 0, Proc: 1000, Mem: 1 << 20, Stor: 1 << 20},
+		{Node: 1, Proc: 1000, Mem: 1 << 20, Stor: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := virtual.NewEnv()
+	for i := 0; i < 16; i++ {
+		env.AddGuest("g", 1, 1, 1)
+	}
+	for i := 0; i < 8; i++ {
+		env.AddLink(virtual.GuestID(2*i), virtual.GuestID(2*i+1), 5, 100)
+	}
+	m := mapping.New(c, env)
+	for i := 0; i < 16; i++ {
+		m.GuestHost[i] = graph.NodeID(i % 2)
+	}
+	p := graph.Path{Nodes: []graph.NodeID{0, 1}, Edges: []int{edge}}
+	for l := 0; l < 8; l++ {
+		// Deliberately overcommitted (8 x 5 Mbps over one 10 Mbps link):
+		// this mapping violates Eq. 9 and could never come from a mapper
+		// with admission control — which is exactly the world the
+		// best-effort mode models.
+		m.LinkPath[l] = p.Clone()
+	}
+	reserved := RunExperiment(m, ExperimentConfig{BaseSeconds: 0.001, TransferSeconds: 1})
+	bestEffort := RunExperiment(m, ExperimentConfig{BaseSeconds: 0.001, TransferSeconds: 1, Network: BestEffort})
+	if bestEffort.TransferMakespan <= reserved.TransferMakespan {
+		t.Fatalf("congested best-effort (%v) should be slower than reserved (%v)",
+			bestEffort.TransferMakespan, reserved.TransferMakespan)
+	}
+	// 8 flows x 5 Mbit over 10 Mbps shared = 4s vs reserved 1s.
+	if math.Abs(bestEffort.TransferMakespan-4.001) > 1e-6 {
+		t.Fatalf("best-effort makespan = %v, want 4.001", bestEffort.TransferMakespan)
+	}
+}

@@ -1,0 +1,250 @@
+// Package spec defines the on-disk JSON representation of physical
+// clusters, virtual environments and mappings used by the command-line
+// tools (cmd/hmngen, cmd/hmnmap), together with the conversions to and
+// from the in-memory types. The format is deliberately flat and explicit
+// so that testers can write environment descriptions by hand — the
+// "tester describes the exact configuration" workflow of §1.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/virtual"
+)
+
+// ClusterSpec is the JSON form of a physical cluster.
+type ClusterSpec struct {
+	// Nodes is the total node count (hosts plus switches). Hosts list
+	// which of them run guests; the remainder are switches.
+	Nodes int        `json:"nodes"`
+	Hosts []HostSpec `json:"hosts"`
+	Links []LinkSpec `json:"links"`
+}
+
+// HostSpec is one host: its node index and capacities.
+type HostSpec struct {
+	Node int     `json:"node"`
+	Name string  `json:"name,omitempty"`
+	Proc float64 `json:"proc_mips"`
+	Mem  int64   `json:"mem_mb"`
+	Stor float64 `json:"stor_gb"`
+}
+
+// LinkSpec is one physical link.
+type LinkSpec struct {
+	A   int     `json:"a"`
+	B   int     `json:"b"`
+	BW  float64 `json:"bw_mbps"`
+	Lat float64 `json:"lat_ms"`
+}
+
+// EnvSpec is the JSON form of a virtual environment.
+type EnvSpec struct {
+	Guests []GuestSpec `json:"guests"`
+	Links  []VLinkSpec `json:"links"`
+}
+
+// GuestSpec is one guest and its demands.
+type GuestSpec struct {
+	Name string  `json:"name,omitempty"`
+	Proc float64 `json:"proc_mips"`
+	Mem  int64   `json:"mem_mb"`
+	Stor float64 `json:"stor_gb"`
+}
+
+// VLinkSpec is one virtual link and its requirements.
+type VLinkSpec struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	BW   float64 `json:"bw_mbps"`
+	Lat  float64 `json:"lat_ms"`
+}
+
+// MappingSpec is the JSON form of a computed mapping.
+type MappingSpec struct {
+	// GuestHost[g] is the node index hosting guest g.
+	GuestHost []int `json:"guest_host"`
+	// LinkPaths[l] is the node sequence of virtual link l's physical
+	// path; a single node marks an intra-host link.
+	LinkPaths [][]int `json:"link_paths"`
+	// Objective is the Eq. 10 value of the mapping.
+	Objective float64 `json:"objective"`
+}
+
+// FromCluster converts a cluster into its JSON form.
+func FromCluster(c *cluster.Cluster) ClusterSpec {
+	out := ClusterSpec{Nodes: c.Net().NumNodes()}
+	for _, h := range c.Hosts() {
+		out.Hosts = append(out.Hosts, HostSpec{
+			Node: int(h.Node), Name: h.Name, Proc: h.Proc, Mem: h.Mem, Stor: h.Stor,
+		})
+	}
+	for _, e := range c.Net().Edges() {
+		out.Links = append(out.Links, LinkSpec{A: int(e.A), B: int(e.B), BW: e.Bandwidth, Lat: e.Latency})
+	}
+	return out
+}
+
+// ToCluster builds a cluster from its JSON form.
+func (s ClusterSpec) ToCluster() (*cluster.Cluster, error) {
+	if s.Nodes <= 0 {
+		return nil, fmt.Errorf("spec: cluster needs a positive node count, got %d", s.Nodes)
+	}
+	g := graph.New(s.Nodes)
+	for i, l := range s.Links {
+		if l.A < 0 || l.A >= s.Nodes || l.B < 0 || l.B >= s.Nodes {
+			return nil, fmt.Errorf("spec: link %d endpoints (%d,%d) outside %d nodes", i, l.A, l.B, s.Nodes)
+		}
+		if l.A == l.B {
+			return nil, fmt.Errorf("spec: link %d is a self-loop on node %d", i, l.A)
+		}
+		if l.BW < 0 || l.Lat < 0 {
+			return nil, fmt.Errorf("spec: link %d has negative weights", i)
+		}
+		g.AddEdge(graph.NodeID(l.A), graph.NodeID(l.B), l.BW, l.Lat)
+	}
+	hosts := make([]cluster.Host, len(s.Hosts))
+	for i, h := range s.Hosts {
+		hosts[i] = cluster.Host{
+			Node: graph.NodeID(h.Node), Name: h.Name, Proc: h.Proc, Mem: h.Mem, Stor: h.Stor,
+		}
+	}
+	return cluster.New(g, hosts)
+}
+
+// FromEnv converts a virtual environment into its JSON form.
+func FromEnv(v *virtual.Env) EnvSpec {
+	out := EnvSpec{}
+	for _, g := range v.Guests() {
+		out.Guests = append(out.Guests, GuestSpec{Name: g.Name, Proc: g.Proc, Mem: g.Mem, Stor: g.Stor})
+	}
+	for _, l := range v.Links() {
+		out.Links = append(out.Links, VLinkSpec{From: int(l.From), To: int(l.To), BW: l.BW, Lat: l.Lat})
+	}
+	return out
+}
+
+// ToEnv builds a virtual environment from its JSON form.
+func (s EnvSpec) ToEnv() (*virtual.Env, error) {
+	env := virtual.NewEnv()
+	for i, g := range s.Guests {
+		if g.Proc < 0 || g.Mem < 0 || g.Stor < 0 {
+			return nil, fmt.Errorf("spec: guest %d has negative demands", i)
+		}
+		env.AddGuest(g.Name, g.Proc, g.Mem, g.Stor)
+	}
+	n := len(s.Guests)
+	for i, l := range s.Links {
+		if l.From < 0 || l.From >= n || l.To < 0 || l.To >= n {
+			return nil, fmt.Errorf("spec: virtual link %d endpoints (%d,%d) outside %d guests", i, l.From, l.To, n)
+		}
+		if l.From == l.To {
+			return nil, fmt.Errorf("spec: virtual link %d is a self-link on guest %d", i, l.From)
+		}
+		if l.BW < 0 || l.Lat < 0 {
+			return nil, fmt.Errorf("spec: virtual link %d has negative requirements", i)
+		}
+		env.AddLink(virtual.GuestID(l.From), virtual.GuestID(l.To), l.BW, l.Lat)
+	}
+	return env, nil
+}
+
+// FromMapping converts a mapping into its JSON form.
+func FromMapping(m *mapping.Mapping, overhead cluster.VMMOverhead) MappingSpec {
+	out := MappingSpec{
+		GuestHost: make([]int, len(m.GuestHost)),
+		LinkPaths: make([][]int, len(m.LinkPath)),
+		Objective: m.Objective(overhead),
+	}
+	for g, n := range m.GuestHost {
+		out.GuestHost[g] = int(n)
+	}
+	for l, p := range m.LinkPath {
+		nodes := make([]int, len(p.Nodes))
+		for i, n := range p.Nodes {
+			nodes[i] = int(n)
+		}
+		out.LinkPaths[l] = nodes
+	}
+	return out
+}
+
+// ToMapping reconstructs a mapping against the given cluster and
+// environment, resolving each path's node sequence back to edges (taking
+// the first edge between each node pair; specs cannot distinguish
+// parallel physical links).
+func (s MappingSpec) ToMapping(c *cluster.Cluster, v *virtual.Env) (*mapping.Mapping, error) {
+	if len(s.GuestHost) != v.NumGuests() {
+		return nil, fmt.Errorf("spec: mapping has %d guest entries for %d guests", len(s.GuestHost), v.NumGuests())
+	}
+	if len(s.LinkPaths) != v.NumLinks() {
+		return nil, fmt.Errorf("spec: mapping has %d path entries for %d links", len(s.LinkPaths), v.NumLinks())
+	}
+	m := mapping.New(c, v)
+	for g, n := range s.GuestHost {
+		m.GuestHost[g] = graph.NodeID(n)
+	}
+	net := c.Net()
+	for l, nodes := range s.LinkPaths {
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("spec: link %d has an empty path", l)
+		}
+		p := graph.Path{Nodes: make([]graph.NodeID, len(nodes))}
+		for i, n := range nodes {
+			p.Nodes[i] = graph.NodeID(n)
+		}
+		for i := 0; i+1 < len(nodes); i++ {
+			eid := -1
+			for _, cand := range net.Incident(p.Nodes[i]) {
+				if net.Edge(cand).Other(p.Nodes[i]) == p.Nodes[i+1] {
+					eid = cand
+					break
+				}
+			}
+			if eid == -1 {
+				return nil, fmt.Errorf("spec: link %d path has no physical edge %d-%d", l, nodes[i], nodes[i+1])
+			}
+			p.Edges = append(p.Edges, eid)
+		}
+		m.LinkPath[l] = p
+	}
+	return m, nil
+}
+
+// WriteJSON writes v to w as indented JSON.
+func WriteJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// SaveJSON writes v to a file as indented JSON.
+func SaveJSON(path string, v interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteJSON(f, v); err != nil {
+		return fmt.Errorf("spec: encoding %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadJSON reads a JSON file into out.
+func LoadJSON(path string, out interface{}) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("spec: decoding %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// FatTree builds a k-ary fat-tree (Al-Fares et al.): k pods, each with
+// k/2 edge and k/2 aggregation switches, (k/2)^2 core switches, and
+// k^2/4 hosts per pod — (k^3)/4 hosts in total. k must be even and at
+// least 2. All links carry linkBW / linkLat.
+//
+// Unlike the cascaded-switch topology of the paper's evaluation, a
+// fat-tree offers many equal-length paths between hosts in different
+// pods; it exists here to exercise the bottleneck-maximising choice of
+// the modified A*Prune on a modern datacenter fabric (the "arbitrary
+// cluster networks" claim of §2 taken further). len(specs) must equal
+// (k^3)/4.
+func FatTree(specs []HostSpec, k int, linkBW, linkLat float64) (*cluster.Cluster, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree arity must be even and >= 2, got %d", k)
+	}
+	hosts := k * k * k / 4
+	if len(specs) != hosts {
+		return nil, fmt.Errorf("topology: %d-ary fat-tree carries %d hosts, got %d", k, hosts, len(specs))
+	}
+	half := k / 2
+	edgePerPod := half
+	aggPerPod := half
+	core := half * half
+	switches := k*(edgePerPod+aggPerPod) + core
+
+	g, hostList := hostsFor(specs, switches)
+	// Switch node layout after the hosts: per pod edge switches, then per
+	// pod aggregation switches, then core switches.
+	edgeNode := func(pod, i int) graph.NodeID {
+		return graph.NodeID(hosts + pod*edgePerPod + i)
+	}
+	aggNode := func(pod, i int) graph.NodeID {
+		return graph.NodeID(hosts + k*edgePerPod + pod*aggPerPod + i)
+	}
+	coreNode := func(i int) graph.NodeID {
+		return graph.NodeID(hosts + k*(edgePerPod+aggPerPod) + i)
+	}
+
+	// Hosts to edge switches: host h belongs to pod h/(k^2/4 / ... )
+	// — each edge switch serves k/2 hosts.
+	for h := 0; h < hosts; h++ {
+		pod := h / (half * half)
+		idx := (h % (half * half)) / half
+		g.AddEdge(graph.NodeID(h), edgeNode(pod, idx), linkBW, linkLat)
+	}
+	// Edge to aggregation: full bipartite within each pod.
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < edgePerPod; e++ {
+			for a := 0; a < aggPerPod; a++ {
+				g.AddEdge(edgeNode(pod, e), aggNode(pod, a), linkBW, linkLat)
+			}
+		}
+	}
+	// Aggregation to core: aggregation switch a of every pod connects to
+	// core switches [a*half, (a+1)*half).
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < aggPerPod; a++ {
+			for c := 0; c < half; c++ {
+				g.AddEdge(aggNode(pod, a), coreNode(a*half+c), linkBW, linkLat)
+			}
+		}
+	}
+	_ = core
+	return cluster.New(g, hostList)
+}

@@ -1,0 +1,94 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestFatTreeK4Shape(t *testing.T) {
+	// k=4: 16 hosts, 4 pods x (2 edge + 2 agg) + 4 core = 20 switches.
+	c, err := FatTree(specs(16), 4, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, 16)
+	if got := c.Net().NumNodes() - 16; got != 20 {
+		t.Fatalf("switch count = %d, want 20", got)
+	}
+	// Edges: 16 host links + 4 pods * 4 edge-agg + 4 pods * 2 agg * 2 core-links = 16+16+16 = 48.
+	if got := c.Net().NumEdges(); got != 48 {
+		t.Fatalf("edge count = %d, want 48", got)
+	}
+	// Every host has degree 1; every switch degree k.
+	for n := 0; n < 16; n++ {
+		if c.Net().Degree(graph.NodeID(n)) != 1 {
+			t.Fatalf("host %d degree != 1", n)
+		}
+	}
+	for n := 16; n < c.Net().NumNodes(); n++ {
+		if d := c.Net().Degree(graph.NodeID(n)); d != 4 {
+			t.Fatalf("switch node %d degree %d, want 4", n, d)
+		}
+	}
+}
+
+func TestFatTreeK2(t *testing.T) {
+	// k=2: 2 hosts, 2 pods x (1 edge + 1 agg) + 1 core = 5 switches.
+	c, err := FatTree(specs(2), 2, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, 2)
+}
+
+func TestFatTreeErrors(t *testing.T) {
+	if _, err := FatTree(specs(16), 3, 1000, 1); err == nil {
+		t.Fatal("odd arity must error")
+	}
+	if _, err := FatTree(specs(10), 4, 1000, 1); err == nil {
+		t.Fatal("host count mismatch must error")
+	}
+	if _, err := FatTree(nil, 0, 1000, 1); err == nil {
+		t.Fatal("k=0 must error")
+	}
+}
+
+func TestFatTreeMultipath(t *testing.T) {
+	// Hosts in different pods of a k=4 tree have multiple disjoint
+	// 6-hop routes (via different aggregation/core switches).
+	c, err := FatTree(specs(16), 4, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host 0 (pod 0) to host 15 (pod 3).
+	paths := graph.AllSimplePaths(c.Net(), 0, 15, 6)
+	if len(paths) < 4 {
+		t.Fatalf("fat-tree should offer >= 4 shortest inter-pod routes, got %d", len(paths))
+	}
+	for _, p := range paths {
+		if err := p.Validate(c.Net()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFatTreeRoutableWithinLatency(t *testing.T) {
+	c, err := FatTree(specs(16), 4, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst-case inter-pod route is 6 hops = 6ms at 1ms/hop.
+	bw := c.Net().NominalBandwidth()
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			p, ok := graph.AStarPrune(c.Net(), graph.NodeID(a), graph.NodeID(b), 1, 6, bw, nil)
+			if !ok {
+				t.Fatalf("no route %d-%d within 6 hops", a, b)
+			}
+			if p.Len() > 6 {
+				t.Fatalf("route %d-%d uses %d hops", a, b, p.Len())
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package topology builds the physical cluster networks the paper
+// evaluates on — the 2-D torus and the switched (cascaded fixed-port
+// switches) topologies of §5.1 — plus the other arbitrary layouts the HMN
+// heuristic claims to handle (§2): ring, line, star, full mesh, switch
+// trees and random connected graphs.
+//
+// Every builder takes the per-host resource specifications and the uniform
+// link bandwidth (Mbps) and latency (ms) of the physical interconnect, and
+// returns a cluster whose graph contains the hosts (and, where the
+// topology requires them, non-hosting switch nodes).
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// HostSpec describes one host to be placed into a topology: its CPU
+// capacity in MIPS, memory in MB and storage in GB.
+type HostSpec struct {
+	Name string
+	Proc float64
+	Mem  int64
+	Stor float64
+}
+
+// hostsFor creates one graph node per spec and the corresponding
+// cluster.Host records, leaving edges to the caller.
+func hostsFor(specs []HostSpec, extraNodes int) (*graph.Graph, []cluster.Host) {
+	g := graph.New(len(specs) + extraNodes)
+	hosts := make([]cluster.Host, len(specs))
+	for i, s := range specs {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("host-%d", i)
+		}
+		hosts[i] = cluster.Host{Node: graph.NodeID(i), Name: name, Proc: s.Proc, Mem: s.Mem, Stor: s.Stor}
+	}
+	return g, hosts
+}
+
+// Torus2D arranges rows x cols hosts in a two-dimensional torus: every
+// host links to its right and lower neighbour with wraparound. It is the
+// first cluster topology of §5.1. rows*cols must equal len(specs); both
+// dimensions must be at least 1. Degenerate 1xN and Nx1 tori reduce to
+// rings (or a line for N=2), and duplicate wraparound edges are elided so
+// the graph never holds parallel links.
+func Torus2D(specs []HostSpec, rows, cols int, linkBW, linkLat float64) (*cluster.Cluster, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topology: torus dimensions %dx%d invalid", rows, cols)
+	}
+	if rows*cols != len(specs) {
+		return nil, fmt.Errorf("topology: torus %dx%d needs %d hosts, got %d", rows, cols, rows*cols, len(specs))
+	}
+	g, hosts := hostsFor(specs, 0)
+	node := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Rightward edge: skip the wraparound duplicate when cols == 2
+			// (0->1 and 1->0 are the same undirected edge) and skip
+			// entirely when cols == 1.
+			if cols > 1 && (c < cols-1 || cols > 2) {
+				g.AddEdge(node(r, c), node(r, (c+1)%cols), linkBW, linkLat)
+			}
+			if rows > 1 && (r < rows-1 || rows > 2) {
+				g.AddEdge(node(r, c), node((r+1)%rows, c), linkBW, linkLat)
+			}
+		}
+	}
+	return cluster.New(g, hosts)
+}
+
+// Switched connects hosts to a cascade of fixed-port switches — the
+// second cluster topology of §5.1 (64-port switches in the paper). Each
+// switch offers portsPerSwitch ports; ports used to chain neighbouring
+// switches are unavailable to hosts. Switch nodes cannot run guests.
+// Host-to-switch and switch-to-switch links all carry linkBW / linkLat.
+func Switched(specs []HostSpec, portsPerSwitch int, linkBW, linkLat float64) (*cluster.Cluster, error) {
+	if portsPerSwitch < 3 {
+		return nil, fmt.Errorf("topology: switches need at least 3 ports, got %d", portsPerSwitch)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("topology: switched cluster needs at least one host")
+	}
+	// Compute how many switches a linear cascade needs. The first and last
+	// switch spend one port on the cascade, the middle ones two.
+	numSwitches := 1
+	capacity := func(n int) int {
+		if n == 1 {
+			return portsPerSwitch
+		}
+		return n*portsPerSwitch - 2*(n-1) // each of the n-1 cascade links eats 2 ports
+	}
+	for capacity(numSwitches) < len(specs) {
+		numSwitches++
+	}
+	g, hosts := hostsFor(specs, numSwitches)
+	switchNode := func(i int) graph.NodeID { return graph.NodeID(len(specs) + i) }
+	// Cascade the switches.
+	for i := 0; i+1 < numSwitches; i++ {
+		g.AddEdge(switchNode(i), switchNode(i+1), linkBW, linkLat)
+	}
+	// Attach hosts, filling each switch's free ports in order.
+	free := make([]int, numSwitches)
+	for i := range free {
+		free[i] = portsPerSwitch
+		if numSwitches > 1 {
+			if i == 0 || i == numSwitches-1 {
+				free[i]--
+			} else {
+				free[i] -= 2
+			}
+		}
+	}
+	sw := 0
+	for i := range specs {
+		for free[sw] == 0 {
+			sw++
+		}
+		g.AddEdge(graph.NodeID(i), switchNode(sw), linkBW, linkLat)
+		free[sw]--
+	}
+	return cluster.New(g, hosts)
+}
+
+// Ring joins the hosts in a single cycle — the example topology §3.1 uses
+// to motivate multi-hop virtual links. Needs at least three hosts; use
+// Line for two.
+func Ring(specs []HostSpec, linkBW, linkLat float64) (*cluster.Cluster, error) {
+	if len(specs) < 3 {
+		return nil, fmt.Errorf("topology: ring needs at least 3 hosts, got %d", len(specs))
+	}
+	g, hosts := hostsFor(specs, 0)
+	for i := range specs {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%len(specs)), linkBW, linkLat)
+	}
+	return cluster.New(g, hosts)
+}
+
+// Line joins the hosts in an open chain.
+func Line(specs []HostSpec, linkBW, linkLat float64) (*cluster.Cluster, error) {
+	if len(specs) < 1 {
+		return nil, fmt.Errorf("topology: line needs at least 1 host")
+	}
+	g, hosts := hostsFor(specs, 0)
+	for i := 0; i+1 < len(specs); i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), linkBW, linkLat)
+	}
+	return cluster.New(g, hosts)
+}
+
+// Star attaches every host to one central switch; equivalent to Switched
+// with unlimited ports, and the topology V-eM (§2) is restricted to.
+func Star(specs []HostSpec, linkBW, linkLat float64) (*cluster.Cluster, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("topology: star needs at least one host")
+	}
+	g, hosts := hostsFor(specs, 1)
+	center := graph.NodeID(len(specs))
+	for i := range specs {
+		g.AddEdge(graph.NodeID(i), center, linkBW, linkLat)
+	}
+	return cluster.New(g, hosts)
+}
+
+// FullMesh links every pair of hosts directly.
+func FullMesh(specs []HostSpec, linkBW, linkLat float64) (*cluster.Cluster, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("topology: mesh needs at least one host")
+	}
+	g, hosts := hostsFor(specs, 0)
+	for i := 0; i < len(specs); i++ {
+		for j := i + 1; j < len(specs); j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j), linkBW, linkLat)
+		}
+	}
+	return cluster.New(g, hosts)
+}
+
+// SwitchTree hangs the hosts off the leaves of a balanced tree of
+// switches with the given fanout: a classic fat-tree-shaped datacenter
+// layout (without the multipath). fanout is the number of children per
+// switch; hosts fill leaf switches left to right. With a single level the
+// result degenerates to Star.
+func SwitchTree(specs []HostSpec, fanout int, linkBW, linkLat float64) (*cluster.Cluster, error) {
+	if fanout < 2 {
+		return nil, fmt.Errorf("topology: switch tree fanout must be >= 2, got %d", fanout)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("topology: switch tree needs at least one host")
+	}
+	// Number of leaf switches needed, then the internal tree above them.
+	leaves := (len(specs) + fanout - 1) / fanout
+	levelSizes := []int{leaves}
+	for levelSizes[len(levelSizes)-1] > 1 {
+		sz := levelSizes[len(levelSizes)-1]
+		levelSizes = append(levelSizes, (sz+fanout-1)/fanout)
+	}
+	totalSwitches := 0
+	for _, sz := range levelSizes {
+		totalSwitches += sz
+	}
+	g, hosts := hostsFor(specs, totalSwitches)
+	// Switch nodes are laid out level by level, leaves first.
+	levelStart := make([]int, len(levelSizes))
+	offset := len(specs)
+	for i, sz := range levelSizes {
+		levelStart[i] = offset
+		offset += sz
+	}
+	// Wire each level to its parent level.
+	for lvl := 0; lvl+1 < len(levelSizes); lvl++ {
+		for i := 0; i < levelSizes[lvl]; i++ {
+			child := graph.NodeID(levelStart[lvl] + i)
+			parent := graph.NodeID(levelStart[lvl+1] + i/fanout)
+			g.AddEdge(child, parent, linkBW, linkLat)
+		}
+	}
+	// Attach hosts to leaf switches.
+	for i := range specs {
+		leaf := graph.NodeID(levelStart[0] + i/fanout)
+		g.AddEdge(graph.NodeID(i), leaf, linkBW, linkLat)
+	}
+	return cluster.New(g, hosts)
+}
+
+// RandomConnected wires the hosts with a uniformly random spanning tree
+// plus extraLinks additional random host pairs (duplicates and self-pairs
+// are skipped, so the final edge count may be lower). The result is
+// always connected. A nil rng makes the function deterministic with an
+// arbitrary fixed order.
+func RandomConnected(specs []HostSpec, extraLinks int, linkBW, linkLat float64, rng *rand.Rand) (*cluster.Cluster, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("topology: random cluster needs at least one host")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	g, hosts := hostsFor(specs, 0)
+	n := len(specs)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		a := graph.NodeID(perm[i])
+		b := graph.NodeID(perm[rng.Intn(i)])
+		g.AddEdge(a, b, linkBW, linkLat)
+	}
+	for k := 0; k < extraLinks; k++ {
+		a := graph.NodeID(rng.Intn(n))
+		b := graph.NodeID(rng.Intn(n))
+		if a == b || g.HasEdgeBetween(a, b) {
+			continue
+		}
+		g.AddEdge(a, b, linkBW, linkLat)
+	}
+	return cluster.New(g, hosts)
+}

@@ -1,0 +1,297 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+func specs(n int) []HostSpec {
+	out := make([]HostSpec, n)
+	for i := range out {
+		out[i] = HostSpec{Proc: 2000, Mem: 2048, Stor: 2000}
+	}
+	return out
+}
+
+func checkCluster(t *testing.T, c *cluster.Cluster, wantHosts int) {
+	t.Helper()
+	if c.NumHosts() != wantHosts {
+		t.Fatalf("NumHosts = %d, want %d", c.NumHosts(), wantHosts)
+	}
+	if !c.Net().Connected() {
+		t.Fatal("topology must be connected")
+	}
+	for _, e := range c.Net().Edges() {
+		if e.Bandwidth <= 0 || e.Latency <= 0 {
+			t.Fatalf("edge %d has non-positive weights: %+v", e.ID, e)
+		}
+	}
+}
+
+func TestTorus2DShape(t *testing.T) {
+	c, err := Torus2D(specs(40), 8, 5, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, 40)
+	// A proper torus with both dims > 2 has exactly 2*rows*cols edges.
+	if got := c.Net().NumEdges(); got != 80 {
+		t.Fatalf("8x5 torus has %d edges, want 80", got)
+	}
+	// Every node has degree 4.
+	for n := 0; n < 40; n++ {
+		if d := c.Net().Degree(graph.NodeID(n)); d != 4 {
+			t.Fatalf("node %d degree %d, want 4", n, d)
+		}
+	}
+	// Wraparound present: node 0 (row 0, col 0) adjacent to node 4
+	// (row 0, col 4) and node 35 (row 7, col 0).
+	if !c.Net().HasEdgeBetween(0, 4) || !c.Net().HasEdgeBetween(0, 35) {
+		t.Fatal("torus wraparound edges missing")
+	}
+}
+
+func TestTorus2DDegenerateDims(t *testing.T) {
+	// 1x2 torus: a single edge, no duplicate from wraparound.
+	c, err := Torus2D(specs(2), 1, 2, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Net().NumEdges() != 1 {
+		t.Fatalf("1x2 torus has %d edges, want 1", c.Net().NumEdges())
+	}
+	// 2x2 torus: four nodes, four edges (each dimension wraps to the
+	// same neighbour, deduplicated).
+	c, err = Torus2D(specs(4), 2, 2, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Net().NumEdges() != 4 {
+		t.Fatalf("2x2 torus has %d edges, want 4", c.Net().NumEdges())
+	}
+	// 1x5 torus degenerates to a 5-ring.
+	c, err = Torus2D(specs(5), 1, 5, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, 5)
+	if c.Net().NumEdges() != 5 {
+		t.Fatalf("1x5 torus has %d edges, want 5", c.Net().NumEdges())
+	}
+	// 1x1 torus: one node, no edges.
+	c, err = Torus2D(specs(1), 1, 1, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Net().NumEdges() != 0 {
+		t.Fatal("1x1 torus must have no edges")
+	}
+}
+
+func TestTorus2DErrors(t *testing.T) {
+	if _, err := Torus2D(specs(5), 2, 3, 100, 1); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+	if _, err := Torus2D(specs(0), 0, 0, 100, 1); err == nil {
+		t.Fatal("zero dims must error")
+	}
+}
+
+func TestSwitchedSingleSwitch(t *testing.T) {
+	c, err := Switched(specs(40), 64, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, 40)
+	// 40 hosts fit one 64-port switch: 41 nodes, 40 edges.
+	if c.Net().NumNodes() != 41 || c.Net().NumEdges() != 40 {
+		t.Fatalf("got %d nodes %d edges, want 41/40", c.Net().NumNodes(), c.Net().NumEdges())
+	}
+	if c.IsHost(40) {
+		t.Fatal("node 40 must be a switch")
+	}
+	// Every host has degree 1 into the switch.
+	for n := 0; n < 40; n++ {
+		if c.Net().Degree(graph.NodeID(n)) != 1 {
+			t.Fatalf("host %d not attached exactly once", n)
+		}
+	}
+}
+
+func TestSwitchedCascade(t *testing.T) {
+	// 10 hosts on 4-port switches: capacities 4 / 2n-... : 1 switch holds
+	// 4, 2 hold 3+3=6, 3 hold 3+2+3=8, 4 hold 3+2+2+3=10.
+	c, err := Switched(specs(10), 4, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, 10)
+	switches := c.Net().NumNodes() - 10
+	if switches != 4 {
+		t.Fatalf("expected 4 cascaded switches, got %d", switches)
+	}
+	// Edges: 10 host links + 3 cascade links.
+	if c.Net().NumEdges() != 13 {
+		t.Fatalf("edges = %d, want 13", c.Net().NumEdges())
+	}
+	// No switch exceeds its port budget.
+	for s := 10; s < c.Net().NumNodes(); s++ {
+		if d := c.Net().Degree(graph.NodeID(s)); d > 4 {
+			t.Fatalf("switch node %d uses %d ports, budget 4", s, d)
+		}
+	}
+}
+
+func TestSwitchedErrors(t *testing.T) {
+	if _, err := Switched(specs(2), 2, 100, 1); err == nil {
+		t.Fatal("switches with fewer than 3 ports must error")
+	}
+	if _, err := Switched(nil, 64, 100, 1); err == nil {
+		t.Fatal("empty host list must error")
+	}
+}
+
+func TestRing(t *testing.T) {
+	c, err := Ring(specs(5), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, 5)
+	if c.Net().NumEdges() != 5 {
+		t.Fatalf("5-ring has %d edges, want 5", c.Net().NumEdges())
+	}
+	for n := 0; n < 5; n++ {
+		if c.Net().Degree(graph.NodeID(n)) != 2 {
+			t.Fatal("ring nodes must have degree 2")
+		}
+	}
+	if _, err := Ring(specs(2), 100, 1); err == nil {
+		t.Fatal("2-ring must error")
+	}
+}
+
+func TestLine(t *testing.T) {
+	c, err := Line(specs(4), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, 4)
+	if c.Net().NumEdges() != 3 {
+		t.Fatalf("4-line has %d edges, want 3", c.Net().NumEdges())
+	}
+	if _, err := Line(nil, 100, 1); err == nil {
+		t.Fatal("empty line must error")
+	}
+}
+
+func TestStar(t *testing.T) {
+	c, err := Star(specs(6), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, 6)
+	if c.Net().NumNodes() != 7 || c.Net().NumEdges() != 6 {
+		t.Fatal("star shape wrong")
+	}
+	if c.IsHost(6) {
+		t.Fatal("center must be a switch")
+	}
+	if _, err := Star(nil, 100, 1); err == nil {
+		t.Fatal("empty star must error")
+	}
+}
+
+func TestFullMesh(t *testing.T) {
+	c, err := FullMesh(specs(5), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, 5)
+	if c.Net().NumEdges() != 10 {
+		t.Fatalf("5-mesh has %d edges, want 10", c.Net().NumEdges())
+	}
+	if _, err := FullMesh(nil, 100, 1); err == nil {
+		t.Fatal("empty mesh must error")
+	}
+}
+
+func TestSwitchTree(t *testing.T) {
+	// 8 hosts, fanout 2: 4 leaf switches, 2 mid, 1 root = 7 switches.
+	c, err := SwitchTree(specs(8), 2, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, 8)
+	if got := c.Net().NumNodes() - 8; got != 7 {
+		t.Fatalf("switch count = %d, want 7", got)
+	}
+	// Hosts are leaves with degree 1; switches never host.
+	for n := 0; n < 8; n++ {
+		if c.Net().Degree(graph.NodeID(n)) != 1 {
+			t.Fatal("hosts must have degree 1")
+		}
+	}
+	for n := 8; n < c.Net().NumNodes(); n++ {
+		if c.IsHost(graph.NodeID(n)) {
+			t.Fatal("switch misclassified as host")
+		}
+	}
+	if _, err := SwitchTree(specs(4), 1, 100, 1); err == nil {
+		t.Fatal("fanout < 2 must error")
+	}
+	if _, err := SwitchTree(nil, 2, 100, 1); err == nil {
+		t.Fatal("empty tree must error")
+	}
+}
+
+func TestSwitchTreeSingleLeaf(t *testing.T) {
+	// 2 hosts, fanout 4: one leaf switch only.
+	c, err := SwitchTree(specs(2), 4, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCluster(t, c, 2)
+	if got := c.Net().NumNodes() - 2; got != 1 {
+		t.Fatalf("switch count = %d, want 1", got)
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(30)
+		c, err := RandomConnected(specs(n), rng.Intn(20), 100, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCluster(t, c, n)
+	}
+	if _, err := RandomConnected(nil, 0, 100, 1, rng); err == nil {
+		t.Fatal("empty random cluster must error")
+	}
+	// nil rng is allowed and deterministic.
+	c1, err := RandomConnected(specs(10), 5, 100, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := RandomConnected(specs(10), 5, 100, 1, nil)
+	if c1.Net().NumEdges() != c2.Net().NumEdges() {
+		t.Fatal("nil-rng builds must be deterministic")
+	}
+}
+
+func TestHostNamesDefaulted(t *testing.T) {
+	c, err := Line([]HostSpec{{Name: "alpha", Proc: 1, Mem: 1, Stor: 1}, {Proc: 1, Mem: 1, Stor: 1}}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HostByIndex(0).Name != "alpha" {
+		t.Fatal("explicit name lost")
+	}
+	if c.HostByIndex(1).Name != "host-1" {
+		t.Fatalf("default name = %q", c.HostByIndex(1).Name)
+	}
+}

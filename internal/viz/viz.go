@@ -1,0 +1,137 @@
+// Package viz renders clusters and mappings as Graphviz DOT documents,
+// for inspecting what the heuristics actually did: hosts (with their
+// residual CPU after the mapping), switches, the guests grouped into
+// their hosts, and the physical links annotated with reserved bandwidth.
+//
+// The output is deterministic and plain text; pipe it through `dot -Tsvg`
+// to draw it. Nothing here affects the algorithms — it exists because a
+// mapping of hundreds of guests is unreviewable as a list of integers.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/virtual"
+)
+
+// WriteClusterDOT renders the bare physical topology: hosts as boxes
+// (labelled with their capacities), switches as diamonds, links annotated
+// with bandwidth and latency.
+func WriteClusterDOT(w io.Writer, c *cluster.Cluster) error {
+	var b strings.Builder
+	b.WriteString("graph cluster {\n")
+	b.WriteString("  layout=neato; overlap=false; splines=true;\n")
+	for n := 0; n < c.Net().NumNodes(); n++ {
+		node := graph.NodeID(n)
+		if h, ok := c.HostAt(node); ok {
+			fmt.Fprintf(&b, "  n%d [shape=box, label=\"%s\\n%.0f MIPS %dMB\"];\n",
+				n, h.Name, h.Proc, h.Mem)
+		} else {
+			fmt.Fprintf(&b, "  n%d [shape=diamond, label=\"sw%d\"];\n", n, n)
+		}
+	}
+	for _, e := range c.Net().Edges() {
+		fmt.Fprintf(&b, "  n%d -- n%d [label=\"%.0fMbps/%.0fms\"];\n",
+			e.A, e.B, e.Bandwidth, e.Latency)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteMappingDOT renders a mapping: every used host becomes a DOT
+// cluster containing its guests, inter-host virtual links are drawn
+// between guests (labelled with demanded bandwidth and the hop count of
+// their physical path), and physical links carry their reserved
+// bandwidth totals. The mapping is assumed valid.
+func WriteMappingDOT(w io.Writer, m *mapping.Mapping) error {
+	c, env := m.Cluster, m.Env
+	var b strings.Builder
+	b.WriteString("graph mapping {\n")
+	b.WriteString("  compound=true; rankdir=LR;\n")
+
+	// Hosts as subgraph clusters with their guests.
+	byHost := map[graph.NodeID][]virtual.GuestID{}
+	for g, node := range m.GuestHost {
+		byHost[node] = append(byHost[node], virtual.GuestID(g))
+	}
+	for _, h := range c.Hosts() {
+		guests := byHost[h.Node]
+		if len(guests) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_h%d {\n", h.Node)
+		fmt.Fprintf(&b, "    label=\"%s\";\n", h.Name)
+		for _, g := range guests {
+			guest := env.Guest(g)
+			fmt.Fprintf(&b, "    g%d [shape=ellipse, label=\"%s\\n%.0f MIPS\"];\n",
+				g, guest.Name, guest.Proc)
+		}
+		b.WriteString("  }\n")
+	}
+
+	// Virtual links: intra-host links dotted, inter-host solid with the
+	// physical hop count.
+	for _, link := range env.Links() {
+		p := m.LinkPath[link.ID]
+		if p.Len() == 0 {
+			fmt.Fprintf(&b, "  g%d -- g%d [style=dotted, label=\"%.2fMbps\"];\n",
+				link.From, link.To, link.BW)
+		} else {
+			fmt.Fprintf(&b, "  g%d -- g%d [label=\"%.2fMbps/%dhop\"];\n",
+				link.From, link.To, link.BW, p.Len())
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteUsageDOT renders the physical topology with the mapping's
+// bandwidth reservations aggregated per link — the congestion view.
+func WriteUsageDOT(w io.Writer, m *mapping.Mapping) error {
+	c, env := m.Cluster, m.Env
+	use := make([]float64, c.Net().NumEdges())
+	for _, link := range env.Links() {
+		for _, eid := range m.LinkPath[link.ID].Edges {
+			use[eid] += link.BW
+		}
+	}
+	counts := map[graph.NodeID]int{}
+	for _, node := range m.GuestHost {
+		counts[node]++
+	}
+
+	var b strings.Builder
+	b.WriteString("graph usage {\n")
+	b.WriteString("  layout=neato; overlap=false;\n")
+	for n := 0; n < c.Net().NumNodes(); n++ {
+		node := graph.NodeID(n)
+		if h, ok := c.HostAt(node); ok {
+			fmt.Fprintf(&b, "  n%d [shape=box, label=\"%s\\n%d guests\"];\n", n, h.Name, counts[node])
+		} else {
+			fmt.Fprintf(&b, "  n%d [shape=diamond, label=\"sw%d\"];\n", n, n)
+		}
+	}
+	for _, e := range c.Net().Edges() {
+		frac := 0.0
+		if e.Bandwidth > 0 {
+			frac = use[e.ID] / e.Bandwidth
+		}
+		attrs := fmt.Sprintf("label=\"%.1f/%.0fMbps\"", use[e.ID], e.Bandwidth)
+		if frac > 0.75 {
+			attrs += ", color=red, penwidth=3"
+		} else if frac > 0.4 {
+			attrs += ", color=orange, penwidth=2"
+		}
+		fmt.Fprintf(&b, "  n%d -- n%d [%s];\n", e.A, e.B, attrs)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,117 @@
+package viz
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/virtual"
+	"repro/internal/workload"
+)
+
+func fixture(t *testing.T) (*cluster.Cluster, *core.HMN, func() *bytes.Buffer) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	specs := workload.GenerateHosts(workload.ClusterParams{
+		Hosts: 6, ProcMin: 1000, ProcMax: 3000,
+		MemMin: 1024, MemMax: 3072, StorMin: 1000, StorMax: 3000,
+	}, rng)
+	c, err := topology.Switched(specs, 16, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &core.HMN{}, func() *bytes.Buffer { return &bytes.Buffer{} }
+}
+
+func TestWriteClusterDOT(t *testing.T) {
+	c, _, buf := fixture(t)
+	w := buf()
+	if err := WriteClusterDOT(w, c); err != nil {
+		t.Fatal(err)
+	}
+	out := w.String()
+	if !strings.HasPrefix(out, "graph cluster {") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a DOT document:\n%s", out)
+	}
+	if !strings.Contains(out, "shape=box") {
+		t.Fatal("hosts missing")
+	}
+	if !strings.Contains(out, "shape=diamond") {
+		t.Fatal("switch missing")
+	}
+	if strings.Count(out, " -- ") != c.Net().NumEdges() {
+		t.Fatalf("edge count mismatch:\n%s", out)
+	}
+}
+
+func TestWriteMappingDOT(t *testing.T) {
+	c, hmn, buf := fixture(t)
+	rng := rand.New(rand.NewSource(2))
+	env := workload.GenerateEnv(workload.HighLevelParams(12, 0.2), rng)
+	m, err := hmn.Map(c, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := buf()
+	if err := WriteMappingDOT(w, m); err != nil {
+		t.Fatal(err)
+	}
+	out := w.String()
+	if strings.Count(out, "subgraph cluster_h") == 0 {
+		t.Fatal("no host clusters rendered")
+	}
+	for g := 0; g < env.NumGuests(); g++ {
+		if !strings.Contains(out, env.Guest(virtual.GuestID(g)).Name) {
+			t.Fatalf("guest %d missing from DOT", g)
+		}
+	}
+	// One edge per virtual link.
+	if strings.Count(out, "g") == 0 {
+		t.Fatal("no guest edges")
+	}
+}
+
+func TestWriteUsageDOT(t *testing.T) {
+	c, hmn, buf := fixture(t)
+	rng := rand.New(rand.NewSource(3))
+	env := workload.GenerateEnv(workload.HighLevelParams(12, 0.2), rng)
+	m, err := hmn.Map(c, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := buf()
+	if err := WriteUsageDOT(w, m); err != nil {
+		t.Fatal(err)
+	}
+	out := w.String()
+	if !strings.Contains(out, "guests") {
+		t.Fatal("guest counts missing")
+	}
+	if strings.Count(out, " -- ") != c.Net().NumEdges() {
+		t.Fatal("usage view must draw every physical link")
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	c, hmn, buf := fixture(t)
+	rng := rand.New(rand.NewSource(4))
+	env := workload.GenerateEnv(workload.HighLevelParams(10, 0.2), rng)
+	m, err := hmn.Map(c, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := buf(), buf()
+	if err := WriteMappingDOT(a, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMappingDOT(b, m); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("DOT output not deterministic")
+	}
+}

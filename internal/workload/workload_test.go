@@ -1,0 +1,300 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperClusterParams(t *testing.T) {
+	p := PaperClusterParams()
+	if p.Hosts != 40 || p.ProcMin != 1000 || p.ProcMax != 3000 {
+		t.Fatalf("PaperClusterParams = %+v", p)
+	}
+}
+
+func TestGenerateHostsRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := PaperClusterParams()
+	specs := GenerateHosts(p, rng)
+	if len(specs) != 40 {
+		t.Fatalf("got %d hosts, want 40", len(specs))
+	}
+	for i, s := range specs {
+		if s.Proc < p.ProcMin || s.Proc >= p.ProcMax {
+			t.Fatalf("host %d proc %v out of [%v,%v)", i, s.Proc, p.ProcMin, p.ProcMax)
+		}
+		if s.Mem < p.MemMin || s.Mem >= p.MemMax {
+			t.Fatalf("host %d mem %v out of range", i, s.Mem)
+		}
+		if s.Stor < p.StorMin || s.Stor >= p.StorMax {
+			t.Fatalf("host %d stor %v out of range", i, s.Stor)
+		}
+		if s.Name == "" {
+			t.Fatalf("host %d has no name", i)
+		}
+	}
+}
+
+func TestGenerateHostsDeterministic(t *testing.T) {
+	a := GenerateHosts(PaperClusterParams(), rand.New(rand.NewSource(7)))
+	b := GenerateHosts(PaperClusterParams(), rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different hosts at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := GenerateHosts(PaperClusterParams(), rand.New(rand.NewSource(8)))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical hosts")
+	}
+}
+
+func TestGenerateHostsHeterogeneous(t *testing.T) {
+	specs := GenerateHosts(PaperClusterParams(), rand.New(rand.NewSource(2)))
+	procs := map[float64]bool{}
+	for _, s := range specs {
+		procs[s.Proc] = true
+	}
+	if len(procs) < 10 {
+		t.Fatalf("expected heterogeneous hosts, got %d distinct CPU values", len(procs))
+	}
+}
+
+func TestHighLevelParamsMatchTable1(t *testing.T) {
+	p := HighLevelParams(100, 0.02)
+	if p.Guests != 100 || p.Density != 0.02 {
+		t.Fatal("guest count / density not propagated")
+	}
+	if p.MemMin != 128 || p.MemMax != 256 || p.StorMin != 100 || p.StorMax != 200 {
+		t.Fatalf("high-level memory/storage ranges wrong: %+v", p)
+	}
+	if p.ProcMin != 50 || p.ProcMax != 100 || p.BWMin != 0.5 || p.BWMax != 1.0 {
+		t.Fatalf("high-level cpu/bw ranges wrong: %+v", p)
+	}
+	if p.LatMin != 30 || p.LatMax != 60 {
+		t.Fatalf("latency range wrong: %+v", p)
+	}
+}
+
+func TestLowLevelParamsMatchTable1(t *testing.T) {
+	p := LowLevelParams(800, 0.01)
+	if p.MemMin != 19 || p.MemMax != 38 || p.ProcMin != 19 || p.ProcMax != 38 {
+		t.Fatalf("low-level ranges wrong: %+v", p)
+	}
+	if p.BWMin != 0.087 || p.BWMax != 0.175 {
+		t.Fatalf("low-level bandwidth wrong: %+v", p)
+	}
+}
+
+func TestGenerateEnvConnectivityAndDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := HighLevelParams(200, 0.02)
+	env := GenerateEnv(p, rng)
+	if env.NumGuests() != 200 {
+		t.Fatalf("got %d guests, want 200", env.NumGuests())
+	}
+	if !env.Connected() {
+		t.Fatal("generated environment must be connected")
+	}
+	pairs := float64(200 * 199 / 2)
+	wantLinks := int(0.02*pairs + 0.5)
+	if env.NumLinks() != wantLinks {
+		t.Fatalf("got %d links, want %d", env.NumLinks(), wantLinks)
+	}
+}
+
+func TestGenerateEnvResourceRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := LowLevelParams(300, 0.01)
+	env := GenerateEnv(p, rng)
+	for _, g := range env.Guests() {
+		if g.Proc < p.ProcMin || g.Proc >= p.ProcMax {
+			t.Fatalf("guest proc %v out of range", g.Proc)
+		}
+		if g.Mem < p.MemMin || g.Mem >= p.MemMax {
+			t.Fatalf("guest mem %v out of range", g.Mem)
+		}
+		if g.Stor < p.StorMin || g.Stor >= p.StorMax {
+			t.Fatalf("guest stor %v out of range", g.Stor)
+		}
+	}
+	for _, l := range env.Links() {
+		if l.BW < p.BWMin || l.BW >= p.BWMax {
+			t.Fatalf("link bw %v out of range", l.BW)
+		}
+		if l.Lat < p.LatMin || l.Lat >= p.LatMax {
+			t.Fatalf("link lat %v out of range", l.Lat)
+		}
+	}
+}
+
+func TestGenerateEnvNoDuplicateOrSelfLinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	env := GenerateEnv(HighLevelParams(60, 0.1), rng)
+	seen := map[[2]int]bool{}
+	for _, l := range env.Links() {
+		if l.From == l.To {
+			t.Fatal("self link generated")
+		}
+		a, b := int(l.From), int(l.To)
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]int{a, b}
+		if seen[k] {
+			t.Fatalf("duplicate link %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGenerateEnvDensityFloor(t *testing.T) {
+	// Density so low the target would be below the spanning tree: the
+	// generator must still produce a connected graph with m-1 links.
+	rng := rand.New(rand.NewSource(13))
+	env := GenerateEnv(HighLevelParams(50, 0.0001), rng)
+	if env.NumLinks() != 49 {
+		t.Fatalf("got %d links, want spanning tree of 49", env.NumLinks())
+	}
+	if !env.Connected() {
+		t.Fatal("environment must be connected")
+	}
+}
+
+func TestGenerateEnvDensityCeiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	env := GenerateEnv(HighLevelParams(6, 5.0), rng) // density > 1 clamps to complete graph
+	if env.NumLinks() != 15 {
+		t.Fatalf("got %d links, want complete graph of 15", env.NumLinks())
+	}
+}
+
+func TestGenerateEnvSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	env := GenerateEnv(HighLevelParams(1, 0.5), rng)
+	if env.NumGuests() != 1 || env.NumLinks() != 0 {
+		t.Fatal("single-guest env must have no links")
+	}
+	env = GenerateEnv(HighLevelParams(0, 0.5), rng)
+	if env.NumGuests() != 0 {
+		t.Fatal("empty env")
+	}
+	env = GenerateEnv(HighLevelParams(2, 0.0), rng)
+	if env.NumLinks() != 1 || !env.Connected() {
+		t.Fatal("two guests need one link for connectivity")
+	}
+}
+
+func TestGenerateEnvDeterministic(t *testing.T) {
+	a := GenerateEnv(LowLevelParams(100, 0.05), rand.New(rand.NewSource(23)))
+	b := GenerateEnv(LowLevelParams(100, 0.05), rand.New(rand.NewSource(23)))
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("same seed produced different link counts")
+	}
+	for i := range a.Links() {
+		if a.Link(i) != b.Link(i) {
+			t.Fatalf("same seed produced different link %d", i)
+		}
+	}
+}
+
+// Property: for any reasonable guest count and density, the generated
+// environment is connected and its density is within rounding of the
+// request (or at the spanning-tree floor).
+func TestQuickGenerateEnvInvariants(t *testing.T) {
+	f := func(seed int64, guestsRaw uint8, densityRaw uint8) bool {
+		guests := 2 + int(guestsRaw)%80
+		density := float64(densityRaw) / 255.0 // [0,1]
+		rng := rand.New(rand.NewSource(seed))
+		env := GenerateEnv(HighLevelParams(guests, density), rng)
+		if !env.Connected() {
+			return false
+		}
+		pairs := guests * (guests - 1) / 2
+		want := int(density*float64(pairs) + 0.5)
+		if want < guests-1 {
+			want = guests - 1
+		}
+		if want > pairs {
+			want = pairs
+		}
+		return env.NumLinks() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformHandlesDegenerateRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := uniform(rng, 5, 5); got != 5 {
+		t.Fatalf("uniform(5,5) = %v", got)
+	}
+	if got := uniform(rng, 5, 3); got != 5 {
+		t.Fatalf("uniform with inverted range = %v, want lo", got)
+	}
+	if got := uniformInt(rng, 7, 7); got != 7 {
+		t.Fatalf("uniformInt(7,7) = %v", got)
+	}
+}
+
+func TestUniformMeanApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += uniform(rng, 10, 20)
+	}
+	if mean := sum / n; math.Abs(mean-15) > 0.1 {
+		t.Fatalf("uniform mean %v, want ~15", mean)
+	}
+}
+
+func TestGenerateEnvTruncNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := HighLevelParams(4000, 0.001)
+	p.Dist = TruncNormal
+	env := GenerateEnv(p, rng)
+	// All draws stay within their ranges...
+	var mems []float64
+	for _, g := range env.Guests() {
+		if g.Mem < p.MemMin || g.Mem >= p.MemMax {
+			t.Fatalf("guest mem %v out of range", g.Mem)
+		}
+		mems = append(mems, float64(g.Mem))
+	}
+	// ...and cluster near the midpoint: the central half of the range
+	// should hold far more than the uniform 50%.
+	mid := float64(p.MemMin+p.MemMax) / 2
+	quarter := float64(p.MemMax-p.MemMin) / 4
+	central := 0
+	for _, m := range mems {
+		if math.Abs(m-mid) <= quarter {
+			central++
+		}
+	}
+	if frac := float64(central) / float64(len(mems)); frac < 0.75 {
+		t.Fatalf("TruncNormal central mass %.2f, want > 0.75 (uniform would be 0.50)", frac)
+	}
+	if !env.Connected() {
+		t.Fatal("env must stay connected under any distribution")
+	}
+}
+
+func TestDrawDistDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := drawDist(rng, TruncNormal, 5, 5); got != 5 {
+		t.Fatalf("degenerate range = %v", got)
+	}
+	if got := drawDist(rng, Uniform, 9, 3); got != 9 {
+		t.Fatalf("inverted range = %v", got)
+	}
+}
