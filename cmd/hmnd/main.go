@@ -1,0 +1,106 @@
+// Command hmnd runs the testbed-allocation daemon: the HMN mapper
+// served as a long-lived HTTP/JSON service in which testers open
+// sessions on a physical cluster, map virtual environments against the
+// live residual resources, and release them when their experiments end
+// (the multi-tester testbed of the paper's §6).
+//
+// Usage:
+//
+//	hmnd -addr :8080 -workers 8 -queue 128 -timeout 30s
+//
+// Mutating requests pass through a bounded admission queue drained by a
+// fixed worker pool; when the queue is full the daemon answers 503 with
+// Retry-After instead of queueing unboundedly. SIGINT/SIGTERM starts a
+// graceful drain: in-flight maps finish, new work is refused, and the
+// process exits once the listener and the pool are idle (or the -drain
+// budget runs out).
+//
+// See the README's "hmnd service" section for a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "admission queue depth")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout (queue wait included)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*workers, *queue, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmnd: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, cfg, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "hmnd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// buildConfig validates the flag values into a server config.
+func buildConfig(workers, queue int, timeout time.Duration) (server.Config, error) {
+	if workers < 0 {
+		return server.Config{}, fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
+	if queue <= 0 {
+		return server.Config{}, fmt.Errorf("-queue must be positive, got %d", queue)
+	}
+	if timeout <= 0 {
+		return server.Config{}, fmt.Errorf("-timeout must be positive, got %v", timeout)
+	}
+	return server.Config{Workers: workers, QueueDepth: queue, RequestTimeout: timeout}, nil
+}
+
+// run serves until SIGINT/SIGTERM, then drains.
+func run(addr string, cfg server.Config, drain time.Duration) error {
+	logger := log.New(os.Stderr, "hmnd: ", log.LstdFlags)
+	srv := server.New(cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (workers=%d queue=%d timeout=%v)",
+			addr, cfg.Workers, cfg.QueueDepth, cfg.RequestTimeout)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received, draining (budget %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Stop the listener and wait for in-flight handlers first — they
+	// hold queued tasks — then drain the worker pool.
+	err := httpSrv.Shutdown(shutdownCtx)
+	srv.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logger.Printf("drained, exiting")
+	return nil
+}

@@ -7,11 +7,16 @@
 //	hmngen -cluster cluster.json -topology torus -hosts 40
 //	hmngen -env env.json -class high -guests 100 -density 0.02
 //	hmngen -cluster c.json -env e.json -seed 7   # both at once
+//	hmngen -env - -guests 50 | hmnmap -cluster c.json -env -
+//
+// At most one of -cluster/-env may be "-" (stdout); status lines then
+// move to stderr so the JSON stream stays pure.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -42,6 +47,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hmngen: nothing to do (use -cluster and/or -env)")
 		os.Exit(2)
 	}
+	if *clusterPath == "-" && *envPath == "-" {
+		fmt.Fprintln(os.Stderr, "hmngen: only one of -cluster/-env can write to stdout")
+		os.Exit(2)
+	}
+	infoW := io.Writer(os.Stdout)
+	if *clusterPath == "-" || *envPath == "-" {
+		infoW = os.Stderr
+	}
 	rng := rand.New(rand.NewSource(*seed))
 
 	if *clusterPath != "" {
@@ -52,10 +65,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := spec.SaveJSON(*clusterPath, spec.FromCluster(c)); err != nil {
+		if err := saveOutput(*clusterPath, spec.FromCluster(c)); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("hmngen: wrote %s (%d hosts, %d nodes, %d links, %s topology)\n",
+		fmt.Fprintf(infoW, "hmngen: wrote %s (%d hosts, %d nodes, %d links, %s topology)\n",
 			*clusterPath, c.NumHosts(), c.Net().NumNodes(), c.Net().NumEdges(), *topoFlag)
 	}
 
@@ -70,10 +83,10 @@ func main() {
 			fatal(fmt.Errorf("unknown -class %q (want high or low)", *class))
 		}
 		env := workload.GenerateEnv(params, rng)
-		if err := spec.SaveJSON(*envPath, spec.FromEnv(env)); err != nil {
+		if err := saveOutput(*envPath, spec.FromEnv(env)); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("hmngen: wrote %s (%d guests, %d links, %s-level workload)\n",
+		fmt.Fprintf(infoW, "hmngen: wrote %s (%d guests, %d links, %s-level workload)\n",
 			*envPath, env.NumGuests(), env.NumLinks(), strings.ToLower(*class))
 	}
 }
@@ -110,6 +123,14 @@ func buildTopology(kind string, specs []topology.HostSpec, ports, fanout, extra 
 	default:
 		return nil, fmt.Errorf("unknown -topology %q", kind)
 	}
+}
+
+// saveOutput writes a spec to a file, or to stdout when path is "-".
+func saveOutput(path string, v interface{}) error {
+	if path == "-" {
+		return spec.WriteJSON(os.Stdout, v)
+	}
+	return spec.SaveJSON(path, v)
 }
 
 func squarest(n int) (rows, cols int) {

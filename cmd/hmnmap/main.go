@@ -7,6 +7,12 @@
 //	hmnmap -cluster cluster.json -env env.json -out mapping.json
 //	hmnmap -cluster c.json -env e.json -heuristic RA -seed 7
 //	hmnmap -cluster c.json -env e.json -vmm-mem 256 -vmm-stor 10
+//	hmngen -env - -guests 50 | hmnmap -cluster c.json -env - -out -
+//
+// -cluster, -env and -out accept "-" for stdin/stdout so the tool
+// composes in pipelines with hmngen and the hmnd tooling (at most one
+// of -cluster/-env may read stdin); with -out - the status lines move
+// to stderr, leaving stdout pure JSON.
 //
 // The output mapping is validated against the formal constraints
 // Eq. (1)-(9) before being written; the exit status is non-zero when no
@@ -53,9 +59,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hmnmap: -cluster and -env are required")
 		os.Exit(2)
 	}
+	if *clusterPath == "-" && *envPath == "-" {
+		fmt.Fprintln(os.Stderr, "hmnmap: only one of -cluster/-env can read stdin")
+		os.Exit(2)
+	}
+	// With -out - the mapping owns stdout; status lines move to stderr.
+	infoW := io.Writer(os.Stdout)
+	if *outPath == "-" {
+		infoW = os.Stderr
+	}
 
 	var cs spec.ClusterSpec
-	if err := spec.LoadJSON(*clusterPath, &cs); err != nil {
+	if err := loadInput(*clusterPath, &cs); err != nil {
 		fatal(err)
 	}
 	c, err := cs.ToCluster()
@@ -63,7 +78,7 @@ func main() {
 		fatal(err)
 	}
 	var es spec.EnvSpec
-	if err := spec.LoadJSON(*envPath, &es); err != nil {
+	if err := loadInput(*envPath, &es); err != nil {
 		fatal(err)
 	}
 	env, err := es.ToEnv()
@@ -91,36 +106,40 @@ func main() {
 	}
 
 	st := m.Summarize(overhead)
-	fmt.Printf("hmnmap: %s mapped %d guests and %d links in %.3fs\n",
+	fmt.Fprintf(infoW, "hmnmap: %s mapped %d guests and %d links in %.3fs\n",
 		mapper.Name(), st.Guests, st.Links, elapsed.Seconds())
-	fmt.Printf("  objective (Eq. 10): %.2f\n", st.Objective)
-	fmt.Printf("  hosts used: %d of %d\n", st.UsedHosts, c.NumHosts())
-	fmt.Printf("  links: %d intra-host, %d routed (mean %.2f hops, max %d)\n",
+	fmt.Fprintf(infoW, "  objective (Eq. 10): %.2f\n", st.Objective)
+	fmt.Fprintf(infoW, "  hosts used: %d of %d\n", st.UsedHosts, c.NumHosts())
+	fmt.Fprintf(infoW, "  links: %d intra-host, %d routed (mean %.2f hops, max %d)\n",
 		st.IntraHostLinks, st.InterHostLinks, st.MeanPathLen, st.MaxPathLen)
 
 	if *simulate {
 		res := sim.RunExperiment(m, sim.ExperimentConfig{Overhead: overhead})
-		fmt.Printf("  emulated experiment makespan: %.3fs (%d events)\n", res.Makespan, res.Events)
+		fmt.Fprintf(infoW, "  emulated experiment makespan: %.3fs (%d events)\n", res.Makespan, res.Events)
 	}
 
-	if *outPath != "" {
+	if *outPath == "-" {
+		if err := spec.WriteJSON(os.Stdout, spec.FromMapping(m, overhead)); err != nil {
+			fatal(err)
+		}
+	} else if *outPath != "" {
 		if err := spec.SaveJSON(*outPath, spec.FromMapping(m, overhead)); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("hmnmap: wrote %s\n", *outPath)
+		fmt.Fprintf(infoW, "hmnmap: wrote %s\n", *outPath)
 	}
 
 	if *dotPath != "" {
 		if err := writeDOT(*dotPath, func(w io.Writer) error { return viz.WriteMappingDOT(w, m) }); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("hmnmap: wrote %s\n", *dotPath)
+		fmt.Fprintf(infoW, "hmnmap: wrote %s\n", *dotPath)
 	}
 	if *usagePath != "" {
 		if err := writeDOT(*usagePath, func(w io.Writer) error { return viz.WriteUsageDOT(w, m) }); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("hmnmap: wrote %s\n", *usagePath)
+		fmt.Fprintf(infoW, "hmnmap: wrote %s\n", *usagePath)
 	}
 
 	if *planPath != "" || *planShell {
@@ -132,7 +151,7 @@ func main() {
 			if err := spec.SaveJSON(*planPath, plan); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("hmnmap: wrote %s (%d hosts, %d VMs)\n", *planPath, len(plan.Hosts), plan.TotalVMs())
+			fmt.Fprintf(infoW, "hmnmap: wrote %s (%d hosts, %d VMs)\n", *planPath, len(plan.Hosts), plan.TotalVMs())
 		}
 		if *planShell {
 			fmt.Print(plan.RenderShell())
@@ -156,6 +175,17 @@ func newMapper(name string, overhead cluster.VMMOverhead, seed int64, maxTries i
 		return &baseline.HostingSearch{Overhead: overhead, Rand: rng, MaxTries: maxTries}, nil
 	}
 	return nil, fmt.Errorf("unknown -heuristic %q (want HMN, HMN-C, R, RA or HS)", name)
+}
+
+// loadInput reads a spec from a file, or from stdin when path is "-".
+func loadInput(path string, out interface{}) error {
+	if path == "-" {
+		if err := spec.DecodeStrict(os.Stdin, out); err != nil {
+			return fmt.Errorf("decoding stdin: %w", err)
+		}
+		return nil
+	}
+	return spec.LoadJSON(path, out)
 }
 
 func writeDOT(path string, render func(io.Writer) error) error {

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/spec"
 )
 
 func TestNewMapper(t *testing.T) {
@@ -18,5 +20,26 @@ func TestNewMapper(t *testing.T) {
 	}
 	if _, err := newMapper("bogus", cluster.VMMOverhead{}, 1, 10); err == nil {
 		t.Fatal("unknown heuristic must error")
+	}
+}
+
+func TestLoadInputStdin(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = old }()
+	go func() {
+		w.WriteString(`{"guests": [{"name": "g0", "proc_mips": 10}], "links": []}`)
+		w.Close()
+	}()
+	var es spec.EnvSpec
+	if err := loadInput("-", &es); err != nil {
+		t.Fatal(err)
+	}
+	if len(es.Guests) != 1 || es.Guests[0].Name != "g0" {
+		t.Fatalf("decoded %+v", es)
 	}
 }

@@ -37,10 +37,10 @@ func TestQuickLedgerConservation(t *testing.T) {
 		bwBefore := []float64{led.ResidualBandwidth(0), led.ResidualBandwidth(1), led.ResidualBandwidth(2)}
 
 		type res struct {
-			node             graph.NodeID
-			proc             float64
-			mem              int64
-			stor             float64
+			node graph.NodeID
+			proc float64
+			mem  int64
+			stor float64
 		}
 		type bwres struct {
 			path graph.Path

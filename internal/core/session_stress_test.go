@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/mapping"
+)
+
+// TestSessionConcurrentStress hammers one session from many goroutines
+// — the hmnd serving pattern — with interleaved Map / Release /
+// ResidualProc / Active calls, then asserts the ledger returns exactly
+// to its primed baseline once every environment is released. Run under
+// -race this also proves Session's locking covers every access path.
+func TestSessionConcurrentStress(t *testing.T) {
+	_, s := sessionFixture(t)
+	baseline := s.ResidualProc()
+
+	const workers = 8
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+
+	var mu sync.Mutex
+	var held []*mapping.Mapping // mapped but deliberately not yet released
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				env := smallEnv(int64(1000+w*100+i), 12)
+				m, err := s.Map(env)
+				if err != nil {
+					// Contention can legitimately exhaust residuals; the
+					// attempt must not have changed them (checked at the
+					// end via the baseline comparison).
+					continue
+				}
+				// Interleave reads with other goroutines' maps.
+				if res := s.ResidualProc(); len(res) != len(baseline) {
+					t.Errorf("residual vector length %d, want %d", len(res), len(baseline))
+				}
+				_ = s.Active()
+				if i%3 == 0 {
+					// Hold every third mapping until after the join, so
+					// releases also happen against a non-quiescent ledger.
+					mu.Lock()
+					held = append(held, m)
+					mu.Unlock()
+					continue
+				}
+				if err := s.Release(m); err != nil {
+					t.Errorf("release: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := s.Active(), len(held); got != want {
+		t.Fatalf("Active = %d, want %d held environments", got, want)
+	}
+	for _, m := range held {
+		if err := s.Release(m); err != nil {
+			t.Fatalf("releasing held mapping: %v", err)
+		}
+		// A second release of the same mapping must be refused.
+		if err := s.Release(m); !errors.Is(err, ErrNotActive) {
+			t.Fatalf("double release: got %v, want ErrNotActive", err)
+		}
+	}
+
+	if s.Active() != 0 {
+		t.Fatalf("Active = %d after full release", s.Active())
+	}
+	after := s.ResidualProc()
+	for i := range baseline {
+		if math.Abs(baseline[i]-after[i]) > 1e-9 {
+			t.Fatalf("host %d residual CPU not restored: %v vs %v", i, baseline[i], after[i])
+		}
+	}
+}
+
+// TestSessionStressWithFailures interleaves concurrent maps with host
+// failures: every eviction the failure reports must leave the ledger
+// consistent, and restoring the host must return the session to a state
+// where mapping succeeds again.
+func TestSessionStressWithFailures(t *testing.T) {
+	c, s := sessionFixture(t)
+	host := c.Hosts()[0].Node
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if m, err := s.Map(smallEnv(int64(2000+w*10+i), 10)); err == nil {
+					_ = s.Release(m)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if _, err := s.FailHost(host); err != nil {
+				t.Errorf("FailHost: %v", err)
+			}
+			if err := s.RestoreHost(host); err != nil {
+				t.Errorf("RestoreHost: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	evicted, err := s.FailHost(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range evicted {
+		if _, err := s.Map(m.Env); err != nil {
+			t.Fatalf("redeploying evicted environment: %v", err)
+		}
+	}
+	if _, err := s.Map(smallEnv(3000, 10)); err != nil {
+		t.Fatalf("mapping after restore cycle: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"repro/internal/deploy"
+	"repro/internal/spec"
+)
+
+// OverheadSpec is the JSON form of the per-host VMM overhead (§3.1)
+// deducted once when a session opens.
+type OverheadSpec struct {
+	Proc float64 `json:"proc_mips,omitempty"`
+	Mem  int64   `json:"mem_mb,omitempty"`
+	Stor float64 `json:"stor_gb,omitempty"`
+}
+
+// OpenSessionRequest is the body of POST /v1/sessions: the physical
+// cluster the session manages, the mapper that places every environment
+// ("HMN", the default, or "HMN-C"), and the VMM overhead.
+type OpenSessionRequest struct {
+	Cluster  spec.ClusterSpec `json:"cluster"`
+	Mapper   string           `json:"mapper,omitempty"`
+	Overhead OverheadSpec     `json:"overhead,omitempty"`
+}
+
+// OpenSessionResponse identifies the opened session.
+type OpenSessionResponse struct {
+	ID     string `json:"id"`
+	Mapper string `json:"mapper"`
+	Hosts  int    `json:"hosts"`
+	Nodes  int    `json:"nodes"`
+}
+
+// MapEnvRequest is the body of POST /v1/sessions/{sid}/envs: the virtual
+// environment to deploy against the session's residual resources.
+// Plan/PlanShell additionally return the per-host deployment plan and
+// its shell rendering.
+type MapEnvRequest struct {
+	Env       spec.EnvSpec `json:"env"`
+	Plan      bool         `json:"plan,omitempty"`
+	PlanShell bool         `json:"plan_shell,omitempty"`
+}
+
+// MapEnvResponse reports a successful mapping.
+type MapEnvResponse struct {
+	ID        string           `json:"id"`
+	Mapping   spec.MappingSpec `json:"mapping"`
+	Plan      *deploy.Plan     `json:"plan,omitempty"`
+	PlanShell string           `json:"plan_shell,omitempty"`
+}
+
+// ResidualsResponse is the body of GET /v1/sessions/{sid}/residuals: the
+// live residual-CPU vector across deployed environments (the rproc of
+// Eq. 10), its standard deviation (the session's current objective), and
+// the number of active environments.
+type ResidualsResponse struct {
+	ResidualProcMIPS []float64 `json:"residual_proc_mips"`
+	StdDev           float64   `json:"stddev"`
+	ActiveEnvs       int       `json:"active_envs"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

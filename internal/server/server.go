@@ -1,0 +1,542 @@
+// Package server implements hmnd, the testbed-allocation daemon: an
+// HTTP/JSON control plane over core.Session that admits, places and
+// releases virtual environments on a shared cluster over time — the
+// multi-tester testbed of the paper's §6 run as a service.
+//
+// Layering (bottom up):
+//
+//   - core.Session holds the residual-resource ledger and runs the HMN /
+//     HMN-C mapper incrementally; it is the only layer that mutates
+//     testbed state.
+//   - Server wraps a set of named sessions and pushes every mutating
+//     request (map, release) through a bounded admission queue drained
+//     by a fixed worker pool. The queue is the backpressure boundary:
+//     when it is full — or the server is draining — the request is
+//     rejected immediately with 503 + Retry-After instead of piling up
+//     goroutines behind the session mutex.
+//   - An internal/metrics Registry instruments every stage (attempts,
+//     successes, failures, rejections per mapper, map latency
+//     histogram, queue depth, active sessions/environments, per-session
+//     residual-CPU stddev) and serves the text exposition on /metrics.
+//
+// Endpoints:
+//
+//	POST   /v1/sessions                      open a session (cluster + mapper + overhead)
+//	DELETE /v1/sessions/{sid}                close it, releasing every environment
+//	POST   /v1/sessions/{sid}/envs           map an environment (optionally return the deploy plan)
+//	DELETE /v1/sessions/{sid}/envs/{eid}     release an environment
+//	GET    /v1/sessions/{sid}/residuals      residual CPU vector + stddev
+//	GET    /healthz                          liveness (503 while draining)
+//	GET    /metrics                          Prometheus text exposition
+//
+// Request bodies are decoded strictly (spec.DecodeStrict): unknown
+// fields are a 400, not a silent no-op.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/mapping"
+	"repro/internal/metrics"
+	"repro/internal/spec"
+	"repro/internal/virtual"
+)
+
+// Config sizes the daemon. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the size of the pool draining the admission queue;
+	// defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// 503. Defaults to 64.
+	QueueDepth int
+	// RequestTimeout bounds each request end to end (queue wait
+	// included). Defaults to 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies. Defaults to 32 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	return c
+}
+
+// errOverloaded rejects a request when the admission queue is full.
+var errOverloaded = errors.New("server: admission queue full")
+
+// errDraining rejects mutating work during shutdown.
+var errDraining = errors.New("server: draining")
+
+// task is one unit of queued work. run executes on a worker; the
+// submitter waits on done (or its context).
+type task struct {
+	ctx  context.Context
+	run  func()
+	done chan struct{}
+}
+
+// envRecord is one deployed environment inside a session.
+type envRecord struct {
+	env *virtual.Env
+	m   *mapping.Mapping
+}
+
+// session is a named core.Session plus the server-side bookkeeping.
+type session struct {
+	id         string
+	core       *core.Session
+	overhead   cluster.VMMOverhead
+	mapperName string
+	stddev     *metrics.Gauge
+
+	mu      sync.Mutex
+	envs    map[string]*envRecord
+	nextEnv int
+	closed  bool
+}
+
+// Server is the hmnd daemon: session store, admission queue, worker
+// pool and metrics. Create with New, serve Handler(), stop with Close.
+type Server struct {
+	cfg Config
+	reg *metrics.Registry
+	mux *http.ServeMux
+
+	admitMu  sync.RWMutex // excludes submit vs Close's queue close
+	draining bool
+	queue    chan *task
+	wg       sync.WaitGroup
+
+	mu          sync.Mutex
+	sessions    map[string]*session
+	nextSession int
+
+	mLatency  *metrics.Histogram
+	mQueue    *metrics.Gauge
+	mEnvs     *metrics.Gauge
+	mSessions *metrics.Gauge
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := metrics.NewRegistry()
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		mux:      http.NewServeMux(),
+		queue:    make(chan *task, cfg.QueueDepth),
+		sessions: make(map[string]*session),
+		mLatency: reg.Histogram("hmnd_map_latency_seconds",
+			"Wall time of environment map attempts.", nil),
+		mQueue: reg.Gauge("hmnd_queue_depth",
+			"Requests waiting in the admission queue."),
+		mEnvs: reg.Gauge("hmnd_active_envs",
+			"Environments currently deployed across all sessions."),
+		mSessions: reg.Gauge("hmnd_active_sessions",
+			"Sessions currently open."),
+	}
+
+	s.mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
+	s.mux.HandleFunc("DELETE /v1/sessions/{sid}", s.handleCloseSession)
+	s.mux.HandleFunc("POST /v1/sessions/{sid}/envs", s.handleMapEnv)
+	s.mux.HandleFunc("DELETE /v1/sessions/{sid}/envs/{eid}", s.handleReleaseEnv)
+	s.mux.HandleFunc("GET /v1/sessions/{sid}/residuals", s.handleResiduals)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the server's metrics registry (for tests and for
+// embedding hmnd into a larger process).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the daemon's HTTP handler with the per-request
+// timeout applied.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		s.mux.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// Close drains the daemon: new mutating work is refused with 503, every
+// task already admitted runs to completion, and the worker pool exits.
+// Safe to call more than once. Callers shutting down an http.Server
+// should call its Shutdown first so in-flight handlers finish waiting
+// on their queued tasks.
+func (s *Server) Close() {
+	s.admitMu.Lock()
+	if s.draining {
+		s.admitMu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	close(s.queue)
+	s.admitMu.Unlock()
+	s.wg.Wait()
+}
+
+// worker drains the admission queue until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.mQueue.Set(float64(len(s.queue)))
+		t.run()
+		close(t.done)
+	}
+}
+
+// submit queues fn and waits for it to run. It returns errOverloaded /
+// errDraining without queuing when the daemon has no room, and the
+// context error if ctx expires while the task waits (the task itself
+// checks ctx and becomes a no-op, or rolls back, when it finally runs).
+func (s *Server) submit(ctx context.Context, fn func()) error {
+	t := &task{ctx: ctx, run: fn, done: make(chan struct{})}
+	s.admitMu.RLock()
+	if s.draining {
+		s.admitMu.RUnlock()
+		return errDraining
+	}
+	select {
+	case s.queue <- t:
+		s.mQueue.Set(float64(len(s.queue)))
+		s.admitMu.RUnlock()
+	default:
+		s.admitMu.RUnlock()
+		return errOverloaded
+	}
+	select {
+	case <-t.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	var req OpenSessionRequest
+	if err := spec.DecodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	c, err := req.Cluster.ToCluster()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	overhead := cluster.VMMOverhead{Proc: req.Overhead.Proc, Mem: req.Overhead.Mem, Stor: req.Overhead.Stor}
+	mapperName := req.Mapper
+	if mapperName == "" {
+		mapperName = "HMN"
+	}
+	var mapper core.Mapper
+	switch mapperName {
+	case "HMN":
+		mapper = &core.HMN{Overhead: overhead}
+	case "HMN-C":
+		mapper = &core.Consolidator{Overhead: overhead}
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown mapper %q (want HMN or HMN-C)", mapperName))
+		return
+	}
+	cs, err := core.NewSession(c, overhead, mapper)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	if draining {
+		writeUnavailable(w, errDraining.Error())
+		return
+	}
+
+	s.mu.Lock()
+	s.nextSession++
+	id := fmt.Sprintf("s%d", s.nextSession)
+	sess := &session{
+		id:         id,
+		core:       cs,
+		overhead:   overhead,
+		mapperName: mapperName,
+		stddev: s.reg.Gauge(
+			fmt.Sprintf("hmnd_session_residual_stddev{session=%q}", id),
+			"Stddev of residual CPU per host (the Eq. 10 objective) per session."),
+		envs: make(map[string]*envRecord),
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.mSessions.Inc()
+	sess.stddev.Set(mapping.Objective(cs.ResidualProc()))
+
+	writeJSON(w, http.StatusCreated, OpenSessionResponse{
+		ID:     id,
+		Mapper: mapperName,
+		Hosts:  c.NumHosts(),
+		Nodes:  c.Net().NumNodes(),
+	})
+}
+
+// lookupSession resolves {sid} or writes a 404.
+func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) *session {
+	id := r.PathValue("sid")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
+		return nil
+	}
+	return sess
+}
+
+func (s *Server) handleMapEnv(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	var req MapEnvRequest
+	if err := spec.DecodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	env, err := req.Env.ToEnv()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if env.NumGuests() == 0 {
+		writeError(w, http.StatusBadRequest, "environment has no guests")
+		return
+	}
+
+	attempted := s.mapCounter("attempted", sess.mapperName)
+	succeeded := s.mapCounter("succeeded", sess.mapperName)
+	failed := s.mapCounter("failed", sess.mapperName)
+	rejected := s.mapCounter("rejected", sess.mapperName)
+
+	ctx := r.Context()
+	var (
+		resp   MapEnvResponse
+		mapErr error
+	)
+	submitErr := s.submit(ctx, func() {
+		if ctx.Err() != nil {
+			// The client gave up while we sat in the queue: do no work.
+			mapErr = ctx.Err()
+			return
+		}
+		attempted.Inc()
+		t0 := time.Now()
+		m, err := sess.core.Map(env)
+		s.mLatency.Observe(time.Since(t0).Seconds())
+		if err != nil {
+			failed.Inc()
+			mapErr = err
+			return
+		}
+		sess.mu.Lock()
+		if sess.closed {
+			sess.mu.Unlock()
+			_ = sess.core.Release(m)
+			failed.Inc()
+			mapErr = fmt.Errorf("session %s closed", sess.id)
+			return
+		}
+		if ctx.Err() != nil {
+			// Mapped, but the request timed out mid-flight: roll back so
+			// no orphan environment holds resources.
+			sess.mu.Unlock()
+			_ = sess.core.Release(m)
+			failed.Inc()
+			mapErr = ctx.Err()
+			return
+		}
+		sess.nextEnv++
+		envID := fmt.Sprintf("e%d", sess.nextEnv)
+		sess.envs[envID] = &envRecord{env: env, m: m}
+		sess.mu.Unlock()
+
+		succeeded.Inc()
+		s.mEnvs.Inc()
+		sess.stddev.Set(mapping.Objective(sess.core.ResidualProc()))
+
+		resp = MapEnvResponse{ID: envID, Mapping: spec.FromMapping(m, sess.overhead)}
+		if req.Plan || req.PlanShell {
+			if plan, err := deploy.Build(m, sess.overhead); err == nil {
+				if req.Plan {
+					resp.Plan = plan
+				}
+				if req.PlanShell {
+					resp.PlanShell = plan.RenderShell()
+				}
+			}
+		}
+	})
+	switch {
+	case errors.Is(submitErr, errOverloaded), errors.Is(submitErr, errDraining):
+		rejected.Inc()
+		writeUnavailable(w, submitErr.Error())
+		return
+	case submitErr != nil: // context expired while queued or running
+		rejected.Inc()
+		writeUnavailable(w, "request timed out: "+submitErr.Error())
+		return
+	}
+	if mapErr != nil {
+		if errors.Is(mapErr, context.DeadlineExceeded) || errors.Is(mapErr, context.Canceled) {
+			rejected.Inc()
+			writeUnavailable(w, "request timed out")
+			return
+		}
+		writeError(w, http.StatusConflict, mapErr.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReleaseEnv(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	envID := r.PathValue("eid")
+	var relErr error
+	submitErr := s.submit(r.Context(), func() {
+		sess.mu.Lock()
+		rec := sess.envs[envID]
+		if rec == nil {
+			sess.mu.Unlock()
+			relErr = fmt.Errorf("no environment %q in session %s", envID, sess.id)
+			return
+		}
+		delete(sess.envs, envID)
+		sess.mu.Unlock()
+		if err := sess.core.Release(rec.m); err != nil {
+			relErr = err
+			return
+		}
+		s.mEnvs.Dec()
+		sess.stddev.Set(mapping.Objective(sess.core.ResidualProc()))
+	})
+	if submitErr != nil {
+		writeUnavailable(w, submitErr.Error())
+		return
+	}
+	if relErr != nil {
+		writeError(w, http.StatusNotFound, relErr.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("sid")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
+		return
+	}
+	sess.mu.Lock()
+	sess.closed = true
+	envs := sess.envs
+	sess.envs = make(map[string]*envRecord)
+	sess.mu.Unlock()
+	for _, rec := range envs {
+		if err := sess.core.Release(rec.m); err == nil {
+			s.mEnvs.Dec()
+		}
+	}
+	s.mSessions.Dec()
+	s.reg.Unregister(fmt.Sprintf("hmnd_session_residual_stddev{session=%q}", id))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleResiduals(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	res := sess.core.ResidualProc()
+	writeJSON(w, http.StatusOK, ResidualsResponse{
+		ResidualProcMIPS: res,
+		StdDev:           mapping.Objective(res),
+		ActiveEnvs:       sess.core.Active(),
+	})
+}
+
+// mapCounter returns the per-mapper counter for one outcome.
+func (s *Server) mapCounter(outcome, mapper string) *metrics.Counter {
+	return s.reg.Counter(
+		fmt.Sprintf("hmnd_maps_%s_total{mapper=%q}", outcome, mapper),
+		fmt.Sprintf("Environment maps %s, per mapper.", outcome))
+}
+
+// --- response helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = spec.WriteJSON(w, v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+// writeUnavailable is the backpressure response: the client should back
+// off and retry, not pile on.
+func writeUnavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, msg)
+}

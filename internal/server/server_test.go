@@ -1,0 +1,513 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/spec"
+	"repro/internal/topology"
+	"repro/internal/virtual"
+	"repro/internal/workload"
+)
+
+// testbed is the paper's Table 1 cluster (40 hosts, 8x5 torus) in both
+// in-memory and spec form.
+func testbed(t *testing.T) (*cluster.Cluster, spec.ClusterSpec) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Torus2D(specs, 8, 5, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, spec.FromCluster(c)
+}
+
+func smallEnv(seed int64, guests int) *virtual.Env {
+	rng := rand.New(rand.NewSource(seed))
+	return workload.GenerateEnv(workload.HighLevelParams(guests, 0.03), rng)
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// doJSON sends body (marshalled) and returns status plus raw response.
+func doJSON(t *testing.T, client *http.Client, method, url string, body interface{}) (int, []byte, http.Header) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw, resp.Header
+}
+
+func openSession(t *testing.T, client *http.Client, base string, cs spec.ClusterSpec, mapper string) string {
+	t.Helper()
+	code, raw, _ := doJSON(t, client, "POST", base+"/v1/sessions",
+		OpenSessionRequest{Cluster: cs, Mapper: mapper})
+	if code != http.StatusCreated {
+		t.Fatalf("open session: status %d: %s", code, raw)
+	}
+	var out OpenSessionResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID
+}
+
+// metricValue scrapes one series from the /metrics text.
+func metricValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %q not found in:\n%s", series, text)
+	return 0
+}
+
+func scrape(t *testing.T, client *http.Client, base string) string {
+	t.Helper()
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return string(raw)
+}
+
+// TestEndToEnd is the acceptance scenario: open a session, concurrently
+// map environments, validate every 2xx mapping through the spec
+// round-trip, check /metrics bookkeeping, release everything and
+// confirm the residuals return to the primed baseline.
+func TestEndToEnd(t *testing.T) {
+	c, cs := testbed(t)
+	_, ts := startServer(t, Config{Workers: 4, QueueDepth: 32})
+	client := ts.Client()
+	sid := openSession(t, client, ts.URL, cs, "")
+
+	var baseline ResidualsResponse
+	code, raw, _ := doJSON(t, client, "GET", ts.URL+"/v1/sessions/"+sid+"/residuals", nil)
+	if code != http.StatusOK {
+		t.Fatalf("residuals: %d %s", code, raw)
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 6
+	envs := make([]*virtual.Env, n)
+	for i := range envs {
+		envs[i] = smallEnv(int64(100+i), 15)
+	}
+
+	type outcome struct {
+		code  int
+		envID string
+		ms    spec.MappingSpec
+	}
+	results := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, raw, _ := doJSON(t, client, "POST", ts.URL+"/v1/sessions/"+sid+"/envs",
+				MapEnvRequest{Env: spec.FromEnv(envs[i])})
+			results[i].code = code
+			if code == http.StatusOK {
+				var out MapEnvResponse
+				if err := json.Unmarshal(raw, &out); err != nil {
+					t.Error(err)
+					return
+				}
+				results[i].envID = out.ID
+				results[i].ms = out.Mapping
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	succeeded, failed := 0, 0
+	for i, r := range results {
+		switch r.code {
+		case http.StatusOK:
+			succeeded++
+			// Every 2xx mapping must survive the spec round-trip and the
+			// formal constraint validation of Eq. (1)-(9).
+			m, err := r.ms.ToMapping(c, envs[i])
+			if err != nil {
+				t.Fatalf("env %d: ToMapping: %v", i, err)
+			}
+			if err := m.Validate(cluster.VMMOverhead{}); err != nil {
+				t.Fatalf("env %d: returned mapping invalid: %v", i, err)
+			}
+		case http.StatusConflict:
+			failed++ // legitimately infeasible under contention
+		default:
+			t.Fatalf("env %d: unexpected status %d", i, r.code)
+		}
+	}
+	if succeeded == 0 {
+		t.Fatal("no environment mapped at all")
+	}
+
+	// Residuals must reflect the deployed environments.
+	var mid ResidualsResponse
+	_, raw, _ = doJSON(t, client, "GET", ts.URL+"/v1/sessions/"+sid+"/residuals", nil)
+	if err := json.Unmarshal(raw, &mid); err != nil {
+		t.Fatal(err)
+	}
+	if mid.ActiveEnvs != succeeded {
+		t.Fatalf("active_envs = %d, want %d", mid.ActiveEnvs, succeeded)
+	}
+
+	// Metrics must agree with the observed statuses.
+	text := scrape(t, client, ts.URL)
+	attempted := metricValue(t, text, `hmnd_maps_attempted_total{mapper="HMN"}`)
+	succ := metricValue(t, text, `hmnd_maps_succeeded_total{mapper="HMN"}`)
+	if int(attempted) != succeeded+failed {
+		t.Fatalf("attempted = %v, want %d", attempted, succeeded+failed)
+	}
+	if int(succ) != succeeded {
+		t.Fatalf("succeeded = %v, want %d", succ, succeeded)
+	}
+	if failed > 0 {
+		if f := metricValue(t, text, `hmnd_maps_failed_total{mapper="HMN"}`); int(f) != failed {
+			t.Fatalf("failed = %v, want %d", f, failed)
+		}
+	}
+	// The latency histogram must have observed every attempt with a
+	// positive total and cumulative buckets ending at the attempt count.
+	hCount := metricValue(t, text, "hmnd_map_latency_seconds_count")
+	if int(hCount) != succeeded+failed {
+		t.Fatalf("latency count = %v, want %d", hCount, succeeded+failed)
+	}
+	if hSum := metricValue(t, text, "hmnd_map_latency_seconds_sum"); hSum <= 0 {
+		t.Fatalf("latency sum = %v, want > 0", hSum)
+	}
+	if inf := metricValue(t, text, `hmnd_map_latency_seconds{le="+Inf"}`); inf != hCount {
+		t.Fatalf("+Inf bucket = %v, want %v", inf, hCount)
+	}
+	if got := metricValue(t, text, "hmnd_active_envs"); int(got) != succeeded {
+		t.Fatalf("active_envs gauge = %v, want %d", got, succeeded)
+	}
+	stddev := metricValue(t, text, fmt.Sprintf("hmnd_session_residual_stddev{session=%q}", sid))
+	if math.IsNaN(stddev) || stddev < 0 {
+		t.Fatalf("stddev gauge = %v", stddev)
+	}
+
+	// Release everything concurrently.
+	wg = sync.WaitGroup{}
+	for _, r := range results {
+		if r.envID == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(envID string) {
+			defer wg.Done()
+			code, raw, _ := doJSON(t, client, "DELETE",
+				ts.URL+"/v1/sessions/"+sid+"/envs/"+envID, nil)
+			if code != http.StatusNoContent {
+				t.Errorf("release %s: %d %s", envID, code, raw)
+			}
+		}(r.envID)
+	}
+	wg.Wait()
+
+	var after ResidualsResponse
+	_, raw, _ = doJSON(t, client, "GET", ts.URL+"/v1/sessions/"+sid+"/residuals", nil)
+	if err := json.Unmarshal(raw, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.ActiveEnvs != 0 {
+		t.Fatalf("active_envs = %d after full release", after.ActiveEnvs)
+	}
+	for i := range baseline.ResidualProcMIPS {
+		if math.Abs(baseline.ResidualProcMIPS[i]-after.ResidualProcMIPS[i]) > 1e-9 {
+			t.Fatalf("host %d residual not restored: %v vs %v",
+				i, baseline.ResidualProcMIPS[i], after.ResidualProcMIPS[i])
+		}
+	}
+}
+
+// TestOverloadRejectsWith503 pins the worker pool and fills the queue,
+// then proves a map request is rejected immediately with 503 and
+// Retry-After rather than waiting.
+func TestOverloadRejectsWith503(t *testing.T) {
+	_, cs := testbed(t)
+	s, ts := startServer(t, Config{Workers: 1, QueueDepth: 1})
+	client := ts.Client()
+	sid := openSession(t, client, ts.URL, cs, "")
+
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	// One task occupies the single worker, one fills the queue slot.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.submit(context.Background(), func() { <-block })
+		}()
+	}
+	waitFor(t, func() bool { return len(s.queue) == 1 })
+
+	code, raw, hdr := doJSON(t, client, "POST", ts.URL+"/v1/sessions/"+sid+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(7, 5))})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", code, raw)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("503 must carry Retry-After")
+	}
+	text := scrape(t, client, ts.URL)
+	if got := metricValue(t, text, `hmnd_maps_rejected_total{mapper="HMN"}`); got != 1 {
+		t.Fatalf("rejected = %v, want 1", got)
+	}
+	// Unsaturate: the same request must now succeed.
+	close(block)
+	wg.Wait()
+	code, raw, _ = doJSON(t, client, "POST", ts.URL+"/v1/sessions/"+sid+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(7, 5))})
+	if code != http.StatusOK {
+		t.Fatalf("post-overload map: %d %s", code, raw)
+	}
+}
+
+// TestGracefulShutdown proves Close finishes in-flight maps, refuses
+// new work, and leaks no goroutines.
+func TestGracefulShutdown(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+
+	c, cs := testbed(t)
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	client := ts.Client()
+	sid := openSession(t, client, ts.URL, cs, "")
+
+	// Pin both workers so the next map stays in the queue when Close
+	// begins: it is the in-flight work the drain must finish.
+	block := make(chan struct{})
+	var blockers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		blockers.Add(1)
+		go func() {
+			defer blockers.Done()
+			_ = s.submit(context.Background(), func() { <-block })
+		}()
+	}
+	env := smallEnv(42, 10)
+	type mapResult struct {
+		code int
+		raw  []byte
+	}
+	inflight := make(chan mapResult, 1)
+	go func() {
+		code, raw, _ := doJSON(t, client, "POST", ts.URL+"/v1/sessions/"+sid+"/envs",
+			MapEnvRequest{Env: spec.FromEnv(env)})
+		inflight <- mapResult{code, raw}
+	}()
+	waitFor(t, func() bool { return len(s.queue) == 1 })
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	// Draining must be observable (healthz flips to 503) while the
+	// pinned workers keep Close waiting.
+	waitFor(t, func() bool {
+		resp, err := client.Get(ts.URL + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+	// New mutating work is refused while draining.
+	code, _, _ := doJSON(t, client, "POST", ts.URL+"/v1/sessions/"+sid+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(43, 10))})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("map during drain: status %d, want 503", code)
+	}
+
+	// Unpin: the queued map must complete successfully.
+	close(block)
+	blockers.Wait()
+	res := <-inflight
+	if res.code != http.StatusOK {
+		t.Fatalf("in-flight map: status %d: %s", res.code, res.raw)
+	}
+	var out MapEnvResponse
+	if err := json.Unmarshal(res.raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	m, err := out.Mapping.ToMapping(c, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(cluster.VMMOverhead{}); err != nil {
+		t.Fatalf("in-flight mapping invalid: %v", err)
+	}
+
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after drain")
+	}
+	s.Close() // idempotent
+	ts.Close()
+
+	// No goroutine leak: the pool and the listener are gone.
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseGoroutines+2 })
+}
+
+func TestHandlerErrors(t *testing.T) {
+	_, cs := testbed(t)
+	_, ts := startServer(t, Config{Workers: 2, QueueDepth: 8})
+	client := ts.Client()
+
+	// Unknown field in the request body: strict decoding is a 400.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sessions",
+		strings.NewReader(`{"clutser": {}}`))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("typo body: status %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown mapper.
+	code, _, _ := doJSON(t, client, "POST", ts.URL+"/v1/sessions",
+		OpenSessionRequest{Cluster: cs, Mapper: "R"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("mapper R: status %d, want 400 (not session-capable)", code)
+	}
+
+	// Unknown session / environment.
+	code, _, _ = doJSON(t, client, "POST", ts.URL+"/v1/sessions/nope/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(1, 3))})
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d, want 404", code)
+	}
+	sid := openSession(t, client, ts.URL, cs, "HMN-C")
+	code, _, _ = doJSON(t, client, "DELETE", ts.URL+"/v1/sessions/"+sid+"/envs/e99", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown env: status %d, want 404", code)
+	}
+
+	// Infeasible environment: one guest larger than any host.
+	huge := spec.EnvSpec{Guests: []spec.GuestSpec{{Name: "huge", Proc: 1e9, Mem: 1 << 40, Stor: 1e9}}}
+	code, _, _ = doJSON(t, client, "POST", ts.URL+"/v1/sessions/"+sid+"/envs",
+		MapEnvRequest{Env: huge})
+	if code != http.StatusConflict {
+		t.Fatalf("infeasible env: status %d, want 409", code)
+	}
+
+	// Empty environment.
+	code, _, _ = doJSON(t, client, "POST", ts.URL+"/v1/sessions/"+sid+"/envs",
+		MapEnvRequest{Env: spec.EnvSpec{}})
+	if code != http.StatusBadRequest {
+		t.Fatalf("empty env: status %d, want 400", code)
+	}
+}
+
+func TestMapWithPlanAndSessionClose(t *testing.T) {
+	_, cs := testbed(t)
+	_, ts := startServer(t, Config{Workers: 2, QueueDepth: 8})
+	client := ts.Client()
+	sid := openSession(t, client, ts.URL, cs, "HMN")
+
+	code, raw, _ := doJSON(t, client, "POST", ts.URL+"/v1/sessions/"+sid+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(5, 10)), Plan: true, PlanShell: true})
+	if code != http.StatusOK {
+		t.Fatalf("map: %d %s", code, raw)
+	}
+	var out MapEnvResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan == nil || out.Plan.TotalVMs() != 10 {
+		t.Fatalf("plan missing or wrong size: %+v", out.Plan)
+	}
+	if !strings.Contains(out.PlanShell, "vm create") {
+		t.Fatalf("plan shell rendering missing: %q", out.PlanShell)
+	}
+
+	// Closing the session releases its environments and retires its
+	// stddev series from /metrics.
+	code, _, _ = doJSON(t, client, "DELETE", ts.URL+"/v1/sessions/"+sid, nil)
+	if code != http.StatusNoContent {
+		t.Fatalf("close session: status %d", code)
+	}
+	text := scrape(t, client, ts.URL)
+	if strings.Contains(text, fmt.Sprintf("session=%q", sid)) {
+		t.Fatal("closed session still exposes metrics series")
+	}
+	if got := metricValue(t, text, "hmnd_active_envs"); got != 0 {
+		t.Fatalf("active_envs = %v after session close", got)
+	}
+	code, _, _ = doJSON(t, client, "GET", ts.URL+"/v1/sessions/"+sid+"/residuals", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("closed session residuals: status %d, want 404", code)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

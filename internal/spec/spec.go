@@ -237,13 +237,30 @@ func SaveJSON(path string, v interface{}) error {
 	return f.Close()
 }
 
-// LoadJSON reads a JSON file into out.
+// DecodeStrict decodes one JSON value from r into out, rejecting fields
+// the target type does not declare. Specs are written by hand (§1's
+// "tester describes the exact configuration"), where a misspelled
+// "proc_mips" silently ignored means an experiment runs with default
+// demands — strictness turns the typo into an immediate error. The hmnd
+// service decodes request bodies through the same path.
+func DecodeStrict(r io.Reader, out interface{}) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LoadJSON reads a JSON file into out, rejecting unknown fields (see
+// DecodeStrict).
 func LoadJSON(path string, out interface{}) error {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	if err := json.Unmarshal(data, out); err != nil {
+	defer f.Close()
+	if err := DecodeStrict(f, out); err != nil {
 		return fmt.Errorf("spec: decoding %s: %w", path, err)
 	}
 	return nil

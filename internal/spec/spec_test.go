@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/cluster"
@@ -187,6 +188,39 @@ func TestJSONFileHelpers(t *testing.T) {
 	}
 	if err := LoadJSON(bad, &loaded); err == nil {
 		t.Fatal("malformed JSON must error")
+	}
+}
+
+func TestLoadJSONRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	typo := filepath.Join(dir, "typo.json")
+	// "hostz" is a plausible hand-edit typo; plain json.Unmarshal would
+	// silently drop it and yield a cluster with zero hosts.
+	if err := os.WriteFile(typo, []byte(`{"nodes": 2, "hostz": [{"node": 0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var cs ClusterSpec
+	err := LoadJSON(typo, &cs)
+	if err == nil {
+		t.Fatal("unknown field must be rejected")
+	}
+	if !strings.Contains(err.Error(), "hostz") {
+		t.Fatalf("error should name the offending field, got: %v", err)
+	}
+}
+
+func TestDecodeStrict(t *testing.T) {
+	var es EnvSpec
+	ok := `{"guests": [{"name": "g0", "proc_mips": 100}], "links": []}`
+	if err := DecodeStrict(strings.NewReader(ok), &es); err != nil {
+		t.Fatal(err)
+	}
+	if len(es.Guests) != 1 || es.Guests[0].Proc != 100 {
+		t.Fatalf("decoded %+v", es)
+	}
+	bad := `{"guests": [{"name": "g0", "proc_mip": 100}]}`
+	if err := DecodeStrict(strings.NewReader(bad), &es); err == nil {
+		t.Fatal("misspelled guest field must be rejected")
 	}
 }
 
