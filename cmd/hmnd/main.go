@@ -15,6 +15,15 @@
 // process exits once the listener and the pool are idle (or the -drain
 // budget runs out).
 //
+// Failure handling: POST /v1/sessions/{id}/hosts/{node}/fail (and the
+// /links/{edge}/fail twin) quarantines capacity, evicts the
+// environments using it in admission order, and runs the self-healing
+// repair engine over the evictions — each comes back repaired (paths
+// re-routed around a cut), replaced (fully re-mapped) or unrecoverable,
+// with the per-environment fate in the response body. The matching
+// /restore endpoints return the capacity; restoring a healthy target or
+// failing a failed one is a 409.
+//
 // See the README's "hmnd service" section for a curl walkthrough.
 package main
 

@@ -28,10 +28,27 @@ import (
 // link destination", and the cache is what keeps large instances
 // tractable without changing any result.
 func network(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, order LinkOrder, astar graph.AStarPruneOptions, rng *rand.Rand) error {
+	ids := make([]int, v.NumLinks())
+	for i := range ids {
+		ids[i] = i
+	}
+	return routeLinks(led, v, assign, paths, ids, order, astar, rng)
+}
+
+// routeLinks routes the subset of v's virtual links named by linkIDs,
+// writing each computed path into paths[link.ID]. Guest placements
+// (assign) are fixed; reservations already on led — including the paths
+// of links outside the subset — are respected. It is the whole
+// Networking stage when linkIDs covers every link, and the repair
+// engine's cheap path when it covers only the links a failure broke.
+func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, order LinkOrder, astar graph.AStarPruneOptions, rng *rand.Rand) error {
 	net := led.Cluster().Net()
 	bw := led.BandwidthFunc()
 
-	links := append([]virtual.Link(nil), v.Links()...)
+	links := make([]virtual.Link, len(linkIDs))
+	for i, id := range linkIDs {
+		links[i] = v.Link(id)
+	}
 	switch order {
 	case OrderAscendingBW:
 		sort.SliceStable(links, func(i, j int) bool {

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/virtual"
+)
+
+// This file is the session's self-healing layer: after FailHost or
+// FailLink evicts the environments a failure touched, Repair re-maps
+// them against the degraded cluster in deterministic admission order.
+// For each environment the engine first tries the cheap path — keep
+// every guest placement and re-run only the Networking stage for the
+// paths the failure broke — and falls back to a full re-map (Hosting,
+// Migration, Networking from scratch) when the placements themselves are
+// no longer tenable. Environments the degraded cluster cannot hold stay
+// evicted and are reported as unrecoverable.
+//
+// Every attempt runs on a cloned ledger and commits atomically, exactly
+// like Map, so a failed repair leaves the session untouched and a
+// concurrent reader never observes partial reservations.
+
+// RepairOutcome classifies what the repair engine did with one evicted
+// environment.
+type RepairOutcome int
+
+const (
+	// RepairRepaired means every guest kept its host; only the paths
+	// the failure broke were re-routed around it.
+	RepairRepaired RepairOutcome = iota
+	// RepairReplaced means re-routing was impossible and a full re-map
+	// placed the environment afresh on the degraded cluster.
+	RepairReplaced
+	// RepairUnrecoverable means the degraded cluster cannot hold the
+	// environment at all; it stays evicted and Err says why.
+	RepairUnrecoverable
+)
+
+// String returns the operator-facing name of the outcome.
+func (o RepairOutcome) String() string {
+	switch o {
+	case RepairRepaired:
+		return "repaired"
+	case RepairReplaced:
+		return "replaced"
+	default:
+		return "unrecoverable"
+	}
+}
+
+// RepairResult reports the fate of one evicted environment.
+type RepairResult struct {
+	// Env is the environment the repair concerned.
+	Env *virtual.Env
+	// Old is the evicted mapping (no longer active).
+	Old *mapping.Mapping
+	// New is the active replacement mapping; nil when unrecoverable.
+	New *mapping.Mapping
+	// Outcome classifies the repair.
+	Outcome RepairOutcome
+	// Err is the mapper's error for unrecoverable environments.
+	Err error
+}
+
+// Repair re-maps evicted environments against the session's current
+// (degraded) resources, in the order given — FailHost/FailLink return
+// the evicted set already sorted by admission sequence, which makes the
+// whole fail-and-repair cycle deterministic. Each result reports the
+// environment as repaired (placements kept, broken paths re-routed),
+// replaced (fully re-mapped) or unrecoverable (still evicted).
+func (s *Session) Repair(evicted []*mapping.Mapping) []RepairResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repairLocked(evicted)
+}
+
+// FailHostAndRepair fails the host and repairs the evicted environments
+// in one atomic step: no concurrent Map can consume the resources the
+// eviction freed before the repair engine has first claim on them.
+func (s *Session) FailHostAndRepair(node graph.NodeID) ([]RepairResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted, err := s.failHostLocked(node)
+	if err != nil {
+		return nil, err
+	}
+	return s.repairLocked(evicted), nil
+}
+
+// FailLinkAndRepair cuts the link and repairs the evicted environments
+// in one atomic step.
+func (s *Session) FailLinkAndRepair(edgeID int) ([]RepairResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted, err := s.failLinkLocked(edgeID)
+	if err != nil {
+		return nil, err
+	}
+	return s.repairLocked(evicted), nil
+}
+
+func (s *Session) repairLocked(evicted []*mapping.Mapping) []RepairResult {
+	results := make([]RepairResult, 0, len(evicted))
+	for _, old := range evicted {
+		results = append(results, s.repairOne(old))
+	}
+	return results
+}
+
+// repairOne attempts the cheap path first, then the full re-map.
+func (s *Session) repairOne(old *mapping.Mapping) RepairResult {
+	res := RepairResult{Env: old.Env, Old: old}
+	if nm, ok := s.tryReroute(old); ok {
+		res.New, res.Outcome = nm, RepairRepaired
+		return res
+	}
+	attempt := s.led.Clone()
+	nm := mapping.New(s.led.Cluster(), old.Env)
+	if err := s.mapper.mapOnLedger(attempt, old.Env, nm); err != nil {
+		res.Outcome, res.Err = RepairUnrecoverable, err
+		return res
+	}
+	s.commitLocked(attempt, nm)
+	res.New, res.Outcome = nm, RepairReplaced
+	return res
+}
+
+// tryReroute rebuilds old with every guest placement kept: it reserves
+// the guests on their original hosts, re-reserves every path the failure
+// left intact, and re-runs the Networking stage for only the broken
+// ones. It fails — without touching the session — when some original
+// host no longer accepts its guests (quarantined, or its resources went
+// to another tenant) or some broken path cannot be routed around the
+// failure.
+func (s *Session) tryReroute(old *mapping.Mapping) (*mapping.Mapping, bool) {
+	env := old.Env
+	attempt := s.led.Clone()
+	nm := mapping.New(s.led.Cluster(), env)
+	copy(nm.GuestHost, old.GuestHost)
+
+	for g, node := range nm.GuestHost {
+		guest := env.Guest(virtual.GuestID(g))
+		if err := attempt.ReserveGuest(node, guest.Proc, guest.Mem, guest.Stor); err != nil {
+			return nil, false
+		}
+	}
+	var broken []int
+	for l, p := range old.LinkPath {
+		if err := attempt.ReserveBandwidth(p, env.Link(l).BW); err != nil {
+			// The path crosses the cut edge (or its bandwidth went to
+			// another tenant meanwhile): route it afresh below.
+			broken = append(broken, l)
+			continue
+		}
+		nm.LinkPath[l] = p.Clone()
+	}
+	if len(broken) > 0 {
+		if err := s.mapper.rerouteOnLedger(attempt, env, nm.GuestHost, nm.LinkPath, broken); err != nil {
+			return nil, false
+		}
+	}
+	s.commitLocked(attempt, nm)
+	return nm, true
+}

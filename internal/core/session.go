@@ -32,7 +32,13 @@ type Session struct {
 	led      *cluster.Ledger
 	mapper   sessionMapper
 	overhead cluster.VMMOverhead
-	active   map[*mapping.Mapping]bool
+	// active maps each deployed environment to its admission sequence
+	// number. The sequence is the session's only ordering authority:
+	// eviction and repair process environments oldest-first, so failure
+	// handling is deterministic (the repo-wide rule that all randomness
+	// flows through explicit seeds extends to iteration order).
+	active  map[*mapping.Mapping]uint64
+	nextSeq uint64
 }
 
 // sessionMapper is the subset of mappers a session can drive
@@ -41,6 +47,10 @@ type Session struct {
 // internally).
 type sessionMapper interface {
 	mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) error
+	// rerouteOnLedger re-runs only the Networking stage for the named
+	// virtual links, keeping guest placements fixed — the repair
+	// engine's cheap path after a link failure.
+	rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int) error
 }
 
 // mapOnLedger runs the three HMN stages against an existing ledger.
@@ -57,6 +67,11 @@ func (h *HMN) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mappin
 	return nil
 }
 
+// rerouteOnLedger re-routes a link subset with HMN's Networking options.
+func (h *HMN) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int) error {
+	return routeLinks(led, v, assign, paths, linkIDs, h.NetworkOrder, h.AStar, h.Rand)
+}
+
 // mapOnLedger runs Hosting, consolidation and Networking against an
 // existing ledger.
 func (x *Consolidator) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) error {
@@ -68,6 +83,11 @@ func (x *Consolidator) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mappi
 		return fmt.Errorf("HMN-C networking stage: %w", err)
 	}
 	return nil
+}
+
+// rerouteOnLedger re-routes a link subset with HMN-C's Networking options.
+func (x *Consolidator) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int) error {
+	return routeLinks(led, v, assign, paths, linkIDs, OrderDescendingBW, x.AStar, nil)
 }
 
 // NewSession opens a session on c with the VMM overhead deducted once.
@@ -91,7 +111,7 @@ func NewSession(c *cluster.Cluster, overhead cluster.VMMOverhead, mapper Mapper)
 		led:      led,
 		mapper:   sm,
 		overhead: overhead,
-		active:   make(map[*mapping.Mapping]bool),
+		active:   make(map[*mapping.Mapping]uint64),
 	}, nil
 }
 
@@ -126,36 +146,103 @@ func (s *Session) Map(v *virtual.Env) (*mapping.Mapping, error) {
 	if err := s.mapper.mapOnLedger(attempt, v, m); err != nil {
 		return nil, err
 	}
-	s.led = attempt
-	s.active[m] = true
+	s.commitLocked(attempt, m)
 	return m, nil
 }
+
+// commitLocked swaps in the attempt ledger and admits m with the next
+// sequence number. Callers hold s.mu.
+func (s *Session) commitLocked(attempt *cluster.Ledger, m *mapping.Mapping) {
+	s.led = attempt
+	s.nextSeq++
+	s.active[m] = s.nextSeq
+}
+
+// ActiveMappings returns the currently deployed mappings in admission
+// order, oldest first. Repaired environments carry fresh admission
+// numbers, so the slice reflects the order the current deployments were
+// committed, not the order their tenants first arrived.
+func (s *Session) ActiveMappings() []*mapping.Mapping {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*mapping.Mapping, 0, len(s.active))
+	for m := range s.active {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return s.active[out[i]] < s.active[out[j]] })
+	return out
+}
+
+// FailedHosts returns how many hosts are currently failed (quarantined).
+func (s *Session) FailedHosts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, h := range s.led.Cluster().Hosts() {
+		if s.led.Quarantined(h.Node) {
+			n++
+		}
+	}
+	return n
+}
+
+// CutLinks returns how many physical links are currently cut.
+func (s *Session) CutLinks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for e := 0; e < s.led.Cluster().Net().NumEdges(); e++ {
+		if s.led.EdgeCut(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrUnknownTarget is returned by the failure primitives when the named
+// node is not a host or the edge ID is out of range.
+var ErrUnknownTarget = errors.New("core: no such host or link")
+
+// ErrAlreadyFailed is returned by FailHost/FailLink when the target is
+// already failed — failing it again would silently report zero evictions
+// and hide that the operator is re-draining a dead target.
+var ErrAlreadyFailed = errors.New("core: target is already failed")
+
+// ErrNotFailed is returned by RestoreHost/RestoreLink when the target
+// was never failed: an operator typo must not "restore" a healthy host
+// and mask the still-failed one.
+var ErrNotFailed = errors.New("core: target is not failed")
 
 // FailHost models the failure (or administrative draining) of one host:
 // no future deployment will place guests on it, and every currently
 // active environment that has guests there is evicted from the session —
 // its healthy-host resources and path bandwidth are returned, and the
-// affected mappings are reported so their owners can redeploy with Map
-// (which will route around the failed host). Unaffected environments
-// keep running untouched.
-func (s *Session) FailHost(node graph.NodeID) (affected []*mapping.Mapping, err error) {
+// affected mappings are reported (in admission order, oldest first) so
+// their owners can redeploy with Map or hand them to Repair. Unaffected
+// environments keep running untouched.
+func (s *Session) FailHost(node graph.NodeID) ([]*mapping.Mapping, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.failHostLocked(node)
+}
+
+func (s *Session) failHostLocked(node graph.NodeID) ([]*mapping.Mapping, error) {
 	if !s.led.Cluster().IsHost(node) {
-		return nil, fmt.Errorf("core: node %d is not a host", node)
+		return nil, fmt.Errorf("%w: node %d is not a host", ErrUnknownTarget, node)
 	}
+	if s.led.Quarantined(node) {
+		return nil, fmt.Errorf("%w: host %d", ErrAlreadyFailed, node)
+	}
+	var affected []*mapping.Mapping
 	for m := range s.active {
-		uses := false
 		for _, h := range m.GuestHost {
 			if h == node {
-				uses = true
+				affected = append(affected, m)
 				break
 			}
 		}
-		if uses {
-			affected = append(affected, m)
-		}
 	}
+	s.sortByAdmission(affected)
 	// Evict before quarantining: release must restore resources on the
 	// failing host too, so the ledger stays consistent if the host is
 	// later readmitted.
@@ -163,66 +250,81 @@ func (s *Session) FailHost(node graph.NodeID) (affected []*mapping.Mapping, err 
 		s.releaseLocked(m)
 	}
 	s.led.Quarantine(node)
-	sort.Slice(affected, func(i, j int) bool {
-		return fmt.Sprintf("%p", affected[i]) < fmt.Sprintf("%p", affected[j])
-	})
 	return affected, nil
 }
 
 // FailLink models the failure of one physical link: no future routing
 // will cross it, and every active environment whose paths use it is
-// evicted (resources returned) and reported for redeployment. Guests are
-// unaffected directly — only the routing changes — but the environment
-// is remapped as a whole, since its remaining paths hold reservations
-// sized for the old routing.
-func (s *Session) FailLink(edgeID int) (affected []*mapping.Mapping, err error) {
+// evicted (resources returned) and reported in admission order for
+// redeployment. Guests are unaffected directly — only the routing
+// changes — but the environment is evicted as a whole, since its
+// remaining paths hold reservations sized for the old routing; Repair
+// restores the placements and re-routes only the broken paths when it
+// can.
+func (s *Session) FailLink(edgeID int) ([]*mapping.Mapping, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.failLinkLocked(edgeID)
+}
+
+func (s *Session) failLinkLocked(edgeID int) ([]*mapping.Mapping, error) {
 	if edgeID < 0 || edgeID >= s.led.Cluster().Net().NumEdges() {
-		return nil, fmt.Errorf("core: edge %d out of range", edgeID)
+		return nil, fmt.Errorf("%w: edge %d out of range", ErrUnknownTarget, edgeID)
 	}
+	if s.led.EdgeCut(edgeID) {
+		return nil, fmt.Errorf("%w: edge %d", ErrAlreadyFailed, edgeID)
+	}
+	var affected []*mapping.Mapping
 	for m := range s.active {
-		uses := false
 	scan:
 		for _, p := range m.LinkPath {
 			for _, eid := range p.Edges {
 				if eid == edgeID {
-					uses = true
+					affected = append(affected, m)
 					break scan
 				}
 			}
 		}
-		if uses {
-			affected = append(affected, m)
-		}
 	}
+	s.sortByAdmission(affected)
 	for _, m := range affected {
 		s.releaseLocked(m)
 	}
 	s.led.CutEdge(edgeID)
-	sort.Slice(affected, func(i, j int) bool {
-		return fmt.Sprintf("%p", affected[i]) < fmt.Sprintf("%p", affected[j])
-	})
 	return affected, nil
 }
 
-// RestoreLink readmits a previously failed physical link.
+// sortByAdmission orders mappings by their admission sequence number,
+// oldest first. Callers hold s.mu and pass mappings still in s.active.
+func (s *Session) sortByAdmission(ms []*mapping.Mapping) {
+	sort.Slice(ms, func(i, j int) bool { return s.active[ms[i]] < s.active[ms[j]] })
+}
+
+// RestoreLink readmits a previously failed physical link. Restoring a
+// link that is not failed returns ErrNotFailed.
 func (s *Session) RestoreLink(edgeID int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if edgeID < 0 || edgeID >= s.led.Cluster().Net().NumEdges() {
-		return fmt.Errorf("core: edge %d out of range", edgeID)
+		return fmt.Errorf("%w: edge %d out of range", ErrUnknownTarget, edgeID)
+	}
+	if !s.led.EdgeCut(edgeID) {
+		return fmt.Errorf("%w: edge %d", ErrNotFailed, edgeID)
 	}
 	s.led.RestoreEdge(edgeID)
 	return nil
 }
 
-// RestoreHost readmits a previously failed host.
+// RestoreHost readmits a previously failed host. Restoring a host that
+// is not failed returns ErrNotFailed.
 func (s *Session) RestoreHost(node graph.NodeID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.led.Cluster().IsHost(node) {
-		return fmt.Errorf("core: node %d is not a host", node)
+		return fmt.Errorf("%w: node %d is not a host", ErrUnknownTarget, node)
+	}
+	if !s.led.Quarantined(node) {
+		return fmt.Errorf("%w: host %d", ErrNotFailed, node)
 	}
 	s.led.Unquarantine(node)
 	return nil
@@ -236,7 +338,7 @@ var ErrNotActive = errors.New("core: mapping is not active in this session")
 func (s *Session) Release(m *mapping.Mapping) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.active[m] {
+	if _, ok := s.active[m]; !ok {
 		return ErrNotActive
 	}
 	s.releaseLocked(m)

@@ -133,3 +133,102 @@ func TestSessionStressWithFailures(t *testing.T) {
 		t.Fatalf("mapping after restore cycle: %v", err)
 	}
 }
+
+// TestSessionStressFailRepairRestore interleaves Map/Release with
+// FailHostAndRepair / FailLinkAndRepair / Restore* from many goroutines
+// — the full hmnd failure surface under contention. Run under -race it
+// proves the repair engine's locking; afterwards the cluster is healed,
+// every surviving environment released, and the residual ledger must
+// return exactly to the primed baseline.
+func TestSessionStressFailRepairRestore(t *testing.T) {
+	c, s := sessionFixture(t)
+	baseline := s.ResidualProc()
+	hosts := c.HostNodes()
+
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+
+	var wg sync.WaitGroup
+	// Mapper goroutines: their handles may be evicted (or swapped by a
+	// repair) underneath them, so ErrNotActive on release is expected.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m, err := s.Map(smallEnv(int64(4000+w*100+i), 12))
+				if err != nil {
+					continue
+				}
+				_ = s.ResidualProc()
+				if err := s.Release(m); err != nil && !errors.Is(err, ErrNotActive) {
+					t.Errorf("release: %v", err)
+				}
+			}
+		}(w)
+	}
+	// Failer goroutines: each owns a distinct target, so fail/restore
+	// pairs never conflict and every error is a real bug.
+	for f := 0; f < 2; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			host := hosts[f]
+			for i := 0; i < iters; i++ {
+				if _, err := s.FailHostAndRepair(host); err != nil {
+					t.Errorf("FailHostAndRepair(%d): %v", host, err)
+					return
+				}
+				if err := s.RestoreHost(host); err != nil {
+					t.Errorf("RestoreHost(%d): %v", host, err)
+					return
+				}
+			}
+		}(f)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := s.FailLinkAndRepair(0); err != nil {
+				t.Errorf("FailLinkAndRepair(0): %v", err)
+				return
+			}
+			if err := s.RestoreLink(0); err != nil {
+				t.Errorf("RestoreLink(0): %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Heal anything still failed (none should be; the pairs are matched),
+	// then release the survivors — repairs may have committed mappings
+	// whose original handles were released as ErrNotActive above.
+	for _, node := range hosts {
+		if err := s.RestoreHost(node); err != nil && !errors.Is(err, ErrNotFailed) {
+			t.Fatalf("RestoreHost(%d): %v", node, err)
+		}
+	}
+	for e := 0; e < c.Net().NumEdges(); e++ {
+		if err := s.RestoreLink(e); err != nil && !errors.Is(err, ErrNotFailed) {
+			t.Fatalf("RestoreLink(%d): %v", e, err)
+		}
+	}
+	for _, m := range s.ActiveMappings() {
+		if err := s.Release(m); err != nil {
+			t.Fatalf("releasing survivor: %v", err)
+		}
+	}
+	if s.Active() != 0 {
+		t.Fatalf("Active = %d after teardown", s.Active())
+	}
+	after := s.ResidualProc()
+	for i := range baseline {
+		if math.Abs(baseline[i]-after[i]) > 1e-6 {
+			t.Fatalf("host %d residual %.9f, want baseline %.9f", i, after[i], baseline[i])
+		}
+	}
+}

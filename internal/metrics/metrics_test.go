@@ -54,6 +54,43 @@ func TestHistogramBucketsAndQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileClamping pins the [0, 1] clamp: p > 1 must not
+// yield +Inf when every observation sits in a finite bucket, and p < 0
+// must behave as p = 0 rather than silently aliasing to the first
+// bucket of an arbitrary rank computation.
+func TestHistogramQuantileClamping(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("clamp_seconds", "latency", []float64{0.01, 0.1, 1})
+	// All observations in finite buckets.
+	for _, v := range []float64{0.005, 0.05, 0.5} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		name string
+		p    float64
+		want float64
+	}{
+		{"negative aliases to p=0", -0.5, 0.01},
+		{"zero", 0, 0.01},
+		{"interior", 0.5, 0.1},
+		{"one", 1, 1},
+		{"above one clamps to p=1", 1.5, 1},
+		{"far above one", 100, 1},
+		{"NaN aliases to p=0", math.NaN(), 0.01},
+	}
+	for _, tc := range cases {
+		if q := h.Quantile(tc.p); q != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.p, q, tc.want)
+		}
+	}
+	// With an observation past the last bound, p=1 legitimately lands in
+	// the +Inf bucket — clamping must not hide that.
+	h.Observe(5)
+	if q := h.Quantile(2); !math.IsInf(q, 1) {
+		t.Errorf("Quantile(2) with +Inf-bucket data = %v, want +Inf", q)
+	}
+}
+
 func TestExpositionFormat(t *testing.T) {
 	r := NewRegistry()
 	r.Counter(`maps_total{mapper="HMN"}`, "maps per mapper").Add(3)

@@ -58,6 +58,30 @@ type ResidualsResponse struct {
 	ActiveEnvs       int       `json:"active_envs"`
 }
 
+// RepairReport is the fate of one environment evicted by a failure: it
+// was repaired (placements kept, broken paths re-routed), replaced
+// (fully re-mapped on the degraded cluster) or unrecoverable (still
+// evicted; Error says why). Repaired and replaced environments keep
+// their IDs and carry their new mapping.
+type RepairReport struct {
+	Env     string            `json:"env"`
+	Outcome string            `json:"outcome"`
+	Error   string            `json:"error,omitempty"`
+	Mapping *spec.MappingSpec `json:"mapping,omitempty"`
+}
+
+// FailTargetResponse is the body of
+// POST /v1/sessions/{sid}/hosts/{node}/fail and
+// POST /v1/sessions/{sid}/links/{edge}/fail: the environments the
+// failure evicted, in deterministic admission order, each with its
+// repair outcome.
+type FailTargetResponse struct {
+	Kind    string         `json:"kind"` // "host" or "link"
+	Target  int            `json:"target"`
+	Evicted int            `json:"evicted"`
+	Results []RepairReport `json:"results"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

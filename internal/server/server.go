@@ -21,13 +21,24 @@
 //
 // Endpoints:
 //
-//	POST   /v1/sessions                      open a session (cluster + mapper + overhead)
-//	DELETE /v1/sessions/{sid}                close it, releasing every environment
-//	POST   /v1/sessions/{sid}/envs           map an environment (optionally return the deploy plan)
-//	DELETE /v1/sessions/{sid}/envs/{eid}     release an environment
-//	GET    /v1/sessions/{sid}/residuals      residual CPU vector + stddev
-//	GET    /healthz                          liveness (503 while draining)
-//	GET    /metrics                          Prometheus text exposition
+//	POST   /v1/sessions                              open a session (cluster + mapper + overhead)
+//	DELETE /v1/sessions/{sid}                        close it, releasing every environment
+//	POST   /v1/sessions/{sid}/envs                   map an environment (optionally return the deploy plan)
+//	DELETE /v1/sessions/{sid}/envs/{eid}             release an environment
+//	GET    /v1/sessions/{sid}/residuals              residual CPU vector + stddev
+//	POST   /v1/sessions/{sid}/hosts/{node}/fail      fail/drain a host; evict + auto-repair its environments
+//	POST   /v1/sessions/{sid}/hosts/{node}/restore   readmit a failed host (409 if not failed)
+//	POST   /v1/sessions/{sid}/links/{edge}/fail      cut a physical link; evict + auto-repair
+//	POST   /v1/sessions/{sid}/links/{edge}/restore   readmit a cut link (409 if not cut)
+//	GET    /healthz                                  liveness (503 while draining)
+//	GET    /metrics                                  Prometheus text exposition
+//
+// The fail endpoints run the core.Session repair engine atomically with
+// the eviction: evicted environments are re-mapped oldest-first against
+// the degraded cluster (placements kept and broken paths re-routed when
+// possible, full re-map otherwise) and the response reports each as
+// repaired, replaced or unrecoverable. Unrecoverable environments are
+// released from the session; repaired/replaced ones keep their IDs.
 //
 // Request bodies are decoded strictly (spec.DecodeStrict): unknown
 // fields are a 400, not a silent no-op.
@@ -39,12 +50,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/spec"
@@ -132,10 +145,11 @@ type Server struct {
 	sessions    map[string]*session
 	nextSession int
 
-	mLatency  *metrics.Histogram
-	mQueue    *metrics.Gauge
-	mEnvs     *metrics.Gauge
-	mSessions *metrics.Gauge
+	mLatency       *metrics.Histogram
+	mRepairLatency *metrics.Histogram
+	mQueue         *metrics.Gauge
+	mEnvs          *metrics.Gauge
+	mSessions      *metrics.Gauge
 }
 
 // New builds a server and starts its worker pool.
@@ -150,6 +164,8 @@ func New(cfg Config) *Server {
 		sessions: make(map[string]*session),
 		mLatency: reg.Histogram("hmnd_map_latency_seconds",
 			"Wall time of environment map attempts.", nil),
+		mRepairLatency: reg.Histogram("hmnd_repair_latency_seconds",
+			"Wall time of fail-and-repair operations (eviction plus re-mapping).", nil),
 		mQueue: reg.Gauge("hmnd_queue_depth",
 			"Requests waiting in the admission queue."),
 		mEnvs: reg.Gauge("hmnd_active_envs",
@@ -163,8 +179,21 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{sid}/envs", s.handleMapEnv)
 	s.mux.HandleFunc("DELETE /v1/sessions/{sid}/envs/{eid}", s.handleReleaseEnv)
 	s.mux.HandleFunc("GET /v1/sessions/{sid}/residuals", s.handleResiduals)
+	s.mux.HandleFunc("POST /v1/sessions/{sid}/hosts/{node}/fail", s.handleFailHost)
+	s.mux.HandleFunc("POST /v1/sessions/{sid}/hosts/{node}/restore", s.handleRestoreHost)
+	s.mux.HandleFunc("POST /v1/sessions/{sid}/links/{edge}/fail", s.handleFailLink)
+	s.mux.HandleFunc("POST /v1/sessions/{sid}/links/{edge}/restore", s.handleRestoreLink)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
+
+	// Degradation gauges are computed at scrape time from the live
+	// sessions, so they can never drift from the ledgers they describe.
+	reg.GaugeFunc("hmnd_quarantined_hosts",
+		"Hosts currently failed or drained, across sessions.",
+		func() float64 { return s.sumSessions((*core.Session).FailedHosts) })
+	reg.GaugeFunc("hmnd_cut_links",
+		"Physical links currently cut, across sessions.",
+		func() float64 { return s.sumSessions((*core.Session).CutLinks) })
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -513,6 +542,185 @@ func (s *Server) handleResiduals(w http.ResponseWriter, r *http.Request) {
 		StdDev:           mapping.Objective(res),
 		ActiveEnvs:       sess.core.Active(),
 	})
+}
+
+// sumSessions totals a per-session quantity across the open sessions.
+func (s *Server) sumSessions(f func(*core.Session) int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, sess := range s.sessions {
+		total += f(sess.core)
+	}
+	return float64(total)
+}
+
+func (s *Server) handleFailHost(w http.ResponseWriter, r *http.Request) {
+	s.handleFail(w, r, "host", "node")
+}
+
+func (s *Server) handleFailLink(w http.ResponseWriter, r *http.Request) {
+	s.handleFail(w, r, "link", "edge")
+}
+
+// handleFail fails a host or link and runs the repair engine in one
+// atomic step, answering with the per-environment repair outcomes.
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request, kind, pathKey string) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	target, err := strconv.Atoi(r.PathValue(pathKey))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad %s %q", pathKey, r.PathValue(pathKey)))
+		return
+	}
+
+	ctx := r.Context()
+	var (
+		resp    FailTargetResponse
+		failErr error
+	)
+	submitErr := s.submit(ctx, func() {
+		if ctx.Err() != nil {
+			failErr = ctx.Err()
+			return
+		}
+		t0 := time.Now()
+		var results []core.RepairResult
+		if kind == "host" {
+			results, failErr = sess.core.FailHostAndRepair(graph.NodeID(target))
+		} else {
+			results, failErr = sess.core.FailLinkAndRepair(target)
+		}
+		if failErr != nil {
+			return
+		}
+		s.mRepairLatency.Observe(time.Since(t0).Seconds())
+		s.evictionCounter(kind).Add(uint64(len(results)))
+
+		// Reconcile the session's environment records with the repair
+		// outcomes: repaired/replaced environments keep their IDs under
+		// the new mapping, unrecoverable ones are gone.
+		sess.mu.Lock()
+		idOf := make(map[*mapping.Mapping]string, len(sess.envs))
+		for eid, rec := range sess.envs {
+			idOf[rec.m] = eid
+		}
+		lost := 0
+		reports := make([]RepairReport, 0, len(results))
+		for _, res := range results {
+			eid := idOf[res.Old]
+			rep := RepairReport{Env: eid, Outcome: res.Outcome.String()}
+			if res.Outcome == core.RepairUnrecoverable {
+				if res.Err != nil {
+					rep.Error = res.Err.Error()
+				}
+				delete(sess.envs, eid)
+				lost++
+			} else {
+				if rec := sess.envs[eid]; rec != nil {
+					rec.m = res.New
+				}
+				ms := spec.FromMapping(res.New, sess.overhead)
+				rep.Mapping = &ms
+			}
+			reports = append(reports, rep)
+			s.repairCounter(res.Outcome.String()).Inc()
+		}
+		sess.mu.Unlock()
+		for i := 0; i < lost; i++ {
+			s.mEnvs.Dec()
+		}
+		sess.stddev.Set(mapping.Objective(sess.core.ResidualProc()))
+		resp = FailTargetResponse{Kind: kind, Target: target, Evicted: len(results), Results: reports}
+	})
+	if code, msg, ok := failureStatus(submitErr, failErr); !ok {
+		if code == http.StatusServiceUnavailable {
+			writeUnavailable(w, msg)
+		} else {
+			writeError(w, code, msg)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRestoreHost(w http.ResponseWriter, r *http.Request) {
+	s.handleRestore(w, r, "host", "node")
+}
+
+func (s *Server) handleRestoreLink(w http.ResponseWriter, r *http.Request) {
+	s.handleRestore(w, r, "link", "edge")
+}
+
+// handleRestore readmits a failed host or cut link. Restoring a healthy
+// target is a 409: the operator almost certainly typed the wrong ID,
+// and a 200 would hide the still-failed one.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, kind, pathKey string) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	target, err := strconv.Atoi(r.PathValue(pathKey))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad %s %q", pathKey, r.PathValue(pathKey)))
+		return
+	}
+	var restoreErr error
+	submitErr := s.submit(r.Context(), func() {
+		if kind == "host" {
+			restoreErr = sess.core.RestoreHost(graph.NodeID(target))
+		} else {
+			restoreErr = sess.core.RestoreLink(target)
+		}
+	})
+	if code, msg, ok := failureStatus(submitErr, restoreErr); !ok {
+		if code == http.StatusServiceUnavailable {
+			writeUnavailable(w, msg)
+		} else {
+			writeError(w, code, msg)
+		}
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// failureStatus maps the submit/operation errors of the fail and restore
+// handlers onto HTTP statuses. ok means no error at all.
+func failureStatus(submitErr, opErr error) (code int, msg string, ok bool) {
+	switch {
+	case errors.Is(submitErr, errOverloaded), errors.Is(submitErr, errDraining):
+		return http.StatusServiceUnavailable, submitErr.Error(), false
+	case submitErr != nil:
+		return http.StatusServiceUnavailable, "request timed out: " + submitErr.Error(), false
+	}
+	switch {
+	case opErr == nil:
+		return 0, "", true
+	case errors.Is(opErr, core.ErrUnknownTarget):
+		return http.StatusNotFound, opErr.Error(), false
+	case errors.Is(opErr, core.ErrAlreadyFailed), errors.Is(opErr, core.ErrNotFailed):
+		return http.StatusConflict, opErr.Error(), false
+	case errors.Is(opErr, context.DeadlineExceeded), errors.Is(opErr, context.Canceled):
+		return http.StatusServiceUnavailable, "request timed out", false
+	default:
+		return http.StatusConflict, opErr.Error(), false
+	}
+}
+
+// evictionCounter counts environments evicted by failures, per kind.
+func (s *Server) evictionCounter(kind string) *metrics.Counter {
+	return s.reg.Counter(
+		fmt.Sprintf("hmnd_evictions_total{kind=%q}", kind),
+		"Environments evicted by host/link failures, per kind.")
+}
+
+// repairCounter counts repair-engine outcomes.
+func (s *Server) repairCounter(outcome string) *metrics.Counter {
+	return s.reg.Counter(
+		fmt.Sprintf("hmnd_repairs_total{outcome=%q}", outcome),
+		"Repair-engine outcomes for evicted environments.")
 }
 
 // mapCounter returns the per-mapper counter for one outcome.
