@@ -23,6 +23,8 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/baseline"
@@ -113,6 +115,7 @@ func BenchmarkTable2(b *testing.B) {
 					continue
 				}
 				b.Run(fmt.Sprintf("%s/%s/%s", topo, inst.name, h), func(b *testing.B) {
+					b.ReportAllocs()
 					obj := -1.0
 					for i := 0; i < b.N; i++ {
 						m, err := benchMapper(h, int64(i)).Map(inst.c, inst.env)
@@ -291,6 +294,7 @@ func BenchmarkAStarPrune(b *testing.B) {
 	}
 	g := c.Net()
 	bw := g.NominalBandwidth()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := graph.NodeID(i % 40)
@@ -314,6 +318,7 @@ func BenchmarkDijkstra(b *testing.B) {
 		b.Fatal(err)
 	}
 	g := c.Net()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		graph.DijkstraLatency(g, graph.NodeID(i%40))
@@ -414,6 +419,74 @@ func BenchmarkSessionMapRelease(b *testing.B) {
 		if err := sess.Release(m); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSessionConcurrentAdmit measures admission throughput when
+// several testers hammer one session at once — the scenario the
+// optimistic snapshot/validate/commit pipeline exists for. Each op is a
+// full Map+Release of a small environment on the switched cluster;
+// subbenchmarks scale the worker count, and conflicts/op and
+// fallbacks/op report how often optimistic attempts lost their
+// validation race. Compare ns/op across worker counts: with the old
+// whole-mapping lock the numbers were flat; now they should drop until
+// commit serialisation or the host's cores saturate.
+func BenchmarkSessionConcurrentAdmit(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c, err := topology.Switched(specs, workload.SwitchPorts, workload.PhysLinkBW, workload.PhysLinkLat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A pool of distinct small environments: every subset of them fits
+	// the cluster at once, so no admission can legitimately fail.
+	envs := make([]*virtual.Env, 16)
+	for i := range envs {
+		envs[i] = workload.GenerateEnv(workload.HighLevelParams(16, 0.02),
+			rand.New(rand.NewSource(int64(1000+i))))
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			sess, err := core.NewSession(c, VMMOverhead{}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			before := sess.AdmissionStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var failed atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						m, err := sess.Map(envs[int(i)%len(envs)])
+						if err != nil {
+							failed.Add(1)
+							return
+						}
+						if err := sess.Release(m); err != nil {
+							failed.Add(1)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if failed.Load() > 0 {
+				b.Fatalf("%d admissions failed on a cluster that fits every environment", failed.Load())
+			}
+			after := sess.AdmissionStats()
+			b.ReportMetric(float64(after.Conflicts-before.Conflicts)/float64(b.N), "conflicts/op")
+			b.ReportMetric(float64(after.Fallbacks-before.Fallbacks)/float64(b.N), "fallbacks/op")
+		})
 	}
 }
 

@@ -42,6 +42,7 @@ func main() {
 		heurFlag     = flag.String("heuristics", "HMN,R,RA,HS", "comma-separated heuristic subset")
 		workers      = flag.Int("workers", 0, "parallel repetitions (0 = GOMAXPROCS)")
 		csvPath      = flag.String("csv", "", "also write every run as CSV to this file")
+		jsonPath     = flag.String("json", "", "also write the results matrix and mapping-time percentiles as JSON to this file ('-' = stdout)")
 		gap          = flag.Bool("gap", false, "measure HMN's optimality gap against the exact solver on tiny instances")
 		gapN         = flag.Int("gap-instances", 30, "instances for the -gap experiment")
 		reservations = flag.Bool("reservations", false, "run the bandwidth-reservation ablation (reserved vs best-effort transfers)")
@@ -124,6 +125,16 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "hmnbench: wrote %s\n", *csvPath)
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(res, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hmnbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonPath == "-" {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "hmnbench: wrote %s\n", *jsonPath)
+	}
 
 	printed := false
 	if *all || *table == 2 {
@@ -162,6 +173,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hmnbench: nothing selected (use -table, -figure, -correlation or -all)")
 		os.Exit(2)
 	}
+}
+
+// writeJSON renders the sweep as JSON to path, or to stdout for "-".
+func writeJSON(res *exp.Results, path string) error {
+	if path == "-" {
+		return res.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing JSON: %w", err)
+	}
+	return f.Close()
 }
 
 func validRuns(res *exp.Results) int {

@@ -24,6 +24,13 @@
 // /restore endpoints return the capacity; restoring a healthy target or
 // failing a failed one is a 409.
 //
+// Profiling: -pprof-addr (off by default) serves net/http/pprof on its
+// own listener, kept away from the service port so profiling endpoints
+// are never exposed to tenants by accident:
+//
+//	hmnd -addr :8080 -pprof-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
+//
 // See the README's "hmnd service" section for a curl walkthrough.
 package main
 
@@ -34,6 +41,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,11 +52,12 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "admission queue depth")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout (queue wait included)")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "admission queue depth")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout (queue wait included)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -57,7 +66,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hmnd: %v\n", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, cfg, *drain); err != nil {
+	if err := run(*addr, cfg, *drain, *pprofAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "hmnd: %v\n", err)
 		os.Exit(1)
 	}
@@ -77,14 +86,39 @@ func buildConfig(workers, queue int, timeout time.Duration) (server.Config, erro
 	return server.Config{Workers: workers, QueueDepth: queue, RequestTimeout: timeout}, nil
 }
 
+// pprofHandler builds the net/http/pprof mux by hand: the package's
+// init registers on http.DefaultServeMux, which the daemon never
+// serves, so profiling stays opt-in and off the service listener.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // run serves until SIGINT/SIGTERM, then drains.
-func run(addr string, cfg server.Config, drain time.Duration) error {
+func run(addr string, cfg server.Config, drain time.Duration, pprofAddr string) error {
 	logger := log.New(os.Stderr, "hmnd: ", log.LstdFlags)
 	srv := server.New(cfg)
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	var pprofSrv *http.Server
+	if pprofAddr != "" {
+		pprofSrv = &http.Server{Addr: pprofAddr, Handler: pprofHandler()}
+		go func() {
+			logger.Printf("pprof listening on %s", pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+		defer pprofSrv.Close()
+	}
 
 	errc := make(chan error, 1)
 	go func() {

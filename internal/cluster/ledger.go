@@ -31,6 +31,7 @@ type Ledger struct {
 	bw          []float64 // residual bandwidth per edge ID
 	quarantined []bool    // per host index: no new guests accepted
 	cutEdges    []bool    // per edge ID: carries no new traffic
+	topoGen     uint64    // bumped by CutEdge/RestoreEdge; keys derived caches
 }
 
 // NewLedger returns a ledger initialised to each host's capacity minus the
@@ -74,6 +75,7 @@ func (l *Ledger) Clone() *Ledger {
 		bw:          append([]float64(nil), l.bw...),
 		quarantined: append([]bool(nil), l.quarantined...),
 		cutEdges:    append([]bool(nil), l.cutEdges...),
+		topoGen:     l.topoGen,
 	}
 }
 
@@ -168,13 +170,26 @@ func (l *Ledger) ResidualBandwidth(edgeID int) float64 {
 // ReserveBandwidth refuses paths that cross it. Bandwidth already
 // reserved on it stays accounted until released. Models link failures
 // and maintenance.
-func (l *Ledger) CutEdge(edgeID int) { l.cutEdges[edgeID] = true }
+func (l *Ledger) CutEdge(edgeID int) {
+	l.cutEdges[edgeID] = true
+	l.topoGen++
+}
 
 // EdgeCut reports whether the edge is currently cut.
 func (l *Ledger) EdgeCut(edgeID int) bool { return l.cutEdges[edgeID] }
 
 // RestoreEdge readmits a previously cut edge.
-func (l *Ledger) RestoreEdge(edgeID int) { l.cutEdges[edgeID] = false }
+func (l *Ledger) RestoreEdge(edgeID int) {
+	l.cutEdges[edgeID] = false
+	l.topoGen++
+}
+
+// TopoGen returns the ledger's topology generation: a counter bumped by
+// every CutEdge/RestoreEdge. Caches derived from the routable topology —
+// the Networking stage's Dijkstra ar[] tables — key their entries by it,
+// so a link failure or restoration invalidates them without any explicit
+// registration. Clones inherit the generation of their source.
+func (l *Ledger) TopoGen() uint64 { return l.topoGen }
 
 // BandwidthFunc returns a residual-bandwidth view suitable for the search
 // algorithms in internal/graph. The view reads the live ledger: it

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Txn accumulates the net reservations of one mapping attempt — guest
+// demands per host and path bandwidth per edge — computed off-lock
+// against a snapshot ledger, so a session can validate them against the
+// live residuals and apply them atomically. It is the commit half of the
+// optimistic admission pipeline (snapshot → map → validate-and-commit):
+// the mapping speculates on a private clone, and Commit decides whether
+// the speculation still fits reality.
+//
+// A Txn aggregates: adding two guests on the same host or two paths over
+// the same edge accumulates their demands, exactly as the serialized
+// reservations would. It is not safe for concurrent use.
+type Txn struct {
+	c     *Cluster
+	hosts map[int]hostDemand // by host index
+	edges map[int]float64    // bandwidth demand by edge ID
+}
+
+type hostDemand struct {
+	proc float64
+	mem  int64
+	stor float64
+}
+
+// NewTxn returns an empty transaction against this ledger's cluster.
+func (l *Ledger) NewTxn() *Txn {
+	return &Txn{
+		c:     l.c,
+		hosts: make(map[int]hostDemand),
+		edges: make(map[int]float64),
+	}
+}
+
+// AddGuest records a guest's demands on the host at node.
+func (t *Txn) AddGuest(node graph.NodeID, proc float64, mem int64, stor float64) {
+	i := t.c.hostIdx(node)
+	d := t.hosts[i]
+	d.proc += proc
+	d.mem += mem
+	d.stor += stor
+	t.hosts[i] = d
+}
+
+// AddPath records bw Mbps on every edge of path. The trivial (intra-host)
+// path records nothing.
+func (t *Txn) AddPath(p graph.Path, bw float64) {
+	for _, eid := range p.Edges {
+		t.edges[eid] += bw
+	}
+}
+
+// Hosts returns the number of distinct hosts the transaction touches.
+func (t *Txn) Hosts() int { return len(t.hosts) }
+
+// Edges returns the number of distinct edges the transaction touches.
+func (t *Txn) Edges() int { return len(t.edges) }
+
+// Commit validates every reservation in t against the live residuals —
+// quarantine state, memory and storage per host (Eq. 2, Eq. 3), cut
+// state and aggregate bandwidth per edge (Eq. 9) — and applies them all,
+// or returns an error describing the first conflict while leaving the
+// ledger untouched. Residual CPU is applied but never validated, exactly
+// like ReserveGuest (§3.2 treats it as the optimisation variable, not a
+// constraint). Hosts and edges are checked in ascending index order so a
+// given conflict always produces the same error.
+func (l *Ledger) Commit(t *Txn) error {
+	if t.c != l.c {
+		return fmt.Errorf("cluster: transaction built for a different cluster")
+	}
+	hostIdx := make([]int, 0, len(t.hosts))
+	for i := range t.hosts {
+		hostIdx = append(hostIdx, i)
+	}
+	sort.Ints(hostIdx)
+	for _, i := range hostIdx {
+		d := t.hosts[i]
+		node := l.c.hosts[i].Node
+		if l.quarantined[i] {
+			return fmt.Errorf("cluster: host node %d is quarantined", node)
+		}
+		if l.mem[i] < d.mem {
+			return fmt.Errorf("cluster: host node %d: memory %dMB short of %dMB demand", node, l.mem[i], d.mem)
+		}
+		if l.stor[i] < d.stor {
+			return fmt.Errorf("cluster: host node %d: storage %.1fGB short of %.1fGB demand", node, l.stor[i], d.stor)
+		}
+	}
+	edgeIdx := make([]int, 0, len(t.edges))
+	for e := range t.edges {
+		edgeIdx = append(edgeIdx, e)
+	}
+	sort.Ints(edgeIdx)
+	for _, e := range edgeIdx {
+		if l.cutEdges[e] {
+			return fmt.Errorf("cluster: edge %d is cut", e)
+		}
+		if l.bw[e] < t.edges[e] {
+			return fmt.Errorf("cluster: edge %d residual %.3fMbps short of %.3fMbps demand", e, l.bw[e], t.edges[e])
+		}
+	}
+	for _, i := range hostIdx {
+		d := t.hosts[i]
+		l.proc[i] -= d.proc
+		l.mem[i] -= d.mem
+		l.stor[i] -= d.stor
+	}
+	for _, e := range edgeIdx {
+		l.bw[e] -= t.edges[e]
+	}
+	return nil
+}

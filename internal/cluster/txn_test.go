@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// txnFixture builds a tiny two-host cluster joined by a single link:
+// node 0 (hostA) -- edge 0 -- node 1 (hostB).
+func txnFixture(t *testing.T) (*Cluster, *Ledger) {
+	t.Helper()
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1000, 1.0)
+	c, err := New(g, []Host{
+		{Name: "hostA", Node: 0, Proc: 1000, Mem: 4096, Stor: 100},
+		{Name: "hostB", Node: 1, Proc: 1000, Mem: 4096, Stor: 100},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	l, err := NewLedger(c, VMMOverhead{})
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	return c, l
+}
+
+func pathOn(nodes []graph.NodeID, edges []int) graph.Path {
+	return graph.Path{Nodes: nodes, Edges: edges}
+}
+
+func TestTxnCommitApplies(t *testing.T) {
+	_, l := txnFixture(t)
+	txn := l.NewTxn()
+	txn.AddGuest(0, 100, 1024, 10)
+	txn.AddGuest(0, 50, 512, 5) // same host: demands aggregate
+	txn.AddGuest(1, 200, 2048, 20)
+	txn.AddPath(pathOn([]graph.NodeID{0, 1}, []int{0}), 300)
+	txn.AddPath(pathOn([]graph.NodeID{0, 1}, []int{0}), 200)
+
+	if err := l.Commit(txn); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if got := l.ResidualProc(0); got != 850 {
+		t.Errorf("host 0 proc = %v, want 850", got)
+	}
+	if got := l.ResidualMem(0); got != 4096-1536 {
+		t.Errorf("host 0 mem = %v, want %v", got, 4096-1536)
+	}
+	if got := l.ResidualStor(1); got != 80 {
+		t.Errorf("host 1 stor = %v, want 80", got)
+	}
+	if got := l.ResidualBandwidth(0); got != 500 {
+		t.Errorf("edge 0 bw = %v, want 500", got)
+	}
+}
+
+func TestTxnCommitRejectsAndLeavesLedgerUntouched(t *testing.T) {
+	cases := []struct {
+		name    string
+		prepare func(l *Ledger)
+		build   func(l *Ledger) *Txn
+		errLike string
+	}{
+		{
+			name: "memory conflict",
+			build: func(l *Ledger) *Txn {
+				txn := l.NewTxn()
+				txn.AddGuest(1, 10, 5000, 1)
+				return txn
+			},
+			errLike: "memory",
+		},
+		{
+			name: "storage conflict",
+			build: func(l *Ledger) *Txn {
+				txn := l.NewTxn()
+				txn.AddGuest(0, 10, 128, 500)
+				return txn
+			},
+			errLike: "storage",
+		},
+		{
+			name:    "quarantined host",
+			prepare: func(l *Ledger) { l.Quarantine(0) },
+			build: func(l *Ledger) *Txn {
+				txn := l.NewTxn()
+				txn.AddGuest(0, 10, 128, 1)
+				return txn
+			},
+			errLike: "quarantined",
+		},
+		{
+			name:    "cut edge",
+			prepare: func(l *Ledger) { l.CutEdge(0) },
+			build: func(l *Ledger) *Txn {
+				txn := l.NewTxn()
+				txn.AddPath(pathOn([]graph.NodeID{0, 1}, []int{0}), 1)
+				return txn
+			},
+			errLike: "cut",
+		},
+		{
+			name: "bandwidth conflict",
+			build: func(l *Ledger) *Txn {
+				txn := l.NewTxn()
+				txn.AddPath(pathOn([]graph.NodeID{0, 1}, []int{0}), 600)
+				txn.AddPath(pathOn([]graph.NodeID{0, 1}, []int{0}), 600)
+				return txn
+			},
+			errLike: "residual",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, l := txnFixture(t)
+			if tc.prepare != nil {
+				tc.prepare(l)
+			}
+			// Mix in a valid reservation so rejection must roll back nothing.
+			txn := tc.build(l)
+			txn.AddGuest(1, 5, 64, 1)
+			before := l.Clone()
+			err := l.Commit(txn)
+			if err == nil {
+				t.Fatalf("Commit succeeded, want error containing %q", tc.errLike)
+			}
+			if !strings.Contains(err.Error(), tc.errLike) {
+				t.Errorf("Commit error = %q, want substring %q", err, tc.errLike)
+			}
+			for node := graph.NodeID(0); node < 2; node++ {
+				if l.ResidualProc(node) != before.ResidualProc(node) ||
+					l.ResidualMem(node) != before.ResidualMem(node) ||
+					l.ResidualStor(node) != before.ResidualStor(node) {
+					t.Errorf("host %d residuals changed on failed commit", node)
+				}
+			}
+			if l.ResidualBandwidth(0) != before.ResidualBandwidth(0) {
+				t.Errorf("edge 0 residual changed on failed commit")
+			}
+		})
+	}
+}
+
+func TestTxnCommitWrongCluster(t *testing.T) {
+	_, l1 := txnFixture(t)
+	_, l2 := txnFixture(t)
+	txn := l1.NewTxn()
+	txn.AddGuest(0, 1, 1, 1)
+	if err := l2.Commit(txn); err == nil {
+		t.Fatal("Commit accepted a transaction from a different cluster")
+	}
+}
+
+// TestTxnMatchesSerializedReservations checks that committing a batch of
+// reservations through a Txn leaves the ledger in exactly the state the
+// equivalent sequence of ReserveGuest/ReserveBandwidth calls would.
+func TestTxnMatchesSerializedReservations(t *testing.T) {
+	_, serial := txnFixture(t)
+	_, batch := txnFixture(t)
+	rng := rand.New(rand.NewSource(7))
+	txn := batch.NewTxn()
+	p := pathOn([]graph.NodeID{0, 1}, []int{0})
+	for i := 0; i < 20; i++ {
+		node := graph.NodeID(rng.Intn(2))
+		proc := float64(rng.Intn(20))
+		mem := int64(rng.Intn(64))
+		stor := float64(rng.Intn(3))
+		bw := float64(rng.Intn(10))
+		if err := serial.ReserveGuest(node, proc, mem, stor); err != nil {
+			t.Fatalf("ReserveGuest: %v", err)
+		}
+		if err := serial.ReserveBandwidth(p, bw); err != nil {
+			t.Fatalf("ReserveBandwidth: %v", err)
+		}
+		txn.AddGuest(node, proc, mem, stor)
+		txn.AddPath(p, bw)
+	}
+	if err := batch.Commit(txn); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	for node := graph.NodeID(0); node < 2; node++ {
+		if serial.ResidualProc(node) != batch.ResidualProc(node) ||
+			serial.ResidualMem(node) != batch.ResidualMem(node) ||
+			serial.ResidualStor(node) != batch.ResidualStor(node) {
+			t.Errorf("host %d: txn state diverges from serialized state", node)
+		}
+	}
+	if serial.ResidualBandwidth(0) != batch.ResidualBandwidth(0) {
+		t.Errorf("edge 0: txn state diverges from serialized state")
+	}
+}
+
+func TestTopoGen(t *testing.T) {
+	_, l := txnFixture(t)
+	g0 := l.TopoGen()
+	l.CutEdge(0)
+	if l.TopoGen() == g0 {
+		t.Error("CutEdge did not bump TopoGen")
+	}
+	cl := l.Clone()
+	if cl.TopoGen() != l.TopoGen() {
+		t.Error("Clone did not inherit TopoGen")
+	}
+	g1 := l.TopoGen()
+	l.RestoreEdge(0)
+	if l.TopoGen() == g1 {
+		t.Error("RestoreEdge did not bump TopoGen")
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// arCache is a session-wide cache of the Networking stage's Dijkstra
+// latency tables (the ar[] arrays of Algorithm 1), keyed by destination
+// host. A table is a pure function of the routable topology — the
+// physical graph minus the currently cut links — so entries stay valid
+// across admissions and are invalidated wholesale whenever the ledger's
+// topology generation moves (FailLink/RestoreLink bump it via
+// CutEdge/RestoreEdge). With the cache warm, precomputing the ar[]
+// tables — the cost the paper's §5.2 identifies as dominating mapping
+// time — becomes a map lookup instead of a per-admission Dijkstra sweep.
+//
+// The cache is safe for concurrent use by optimistic admissions running
+// on snapshots of different ages. Staleness is harmless by construction:
+// a snapshot's generation either matches the cache (tables are exact for
+// that snapshot's topology) or it doesn't (the snapshot computes its own
+// tables and store discards writes from superseded generations).
+type arCache struct {
+	mu  sync.Mutex
+	gen uint64
+	tab map[graph.NodeID][]float64
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newARCache() *arCache {
+	return &arCache{tab: make(map[graph.NodeID][]float64)}
+}
+
+// lookup returns the cached table towards dest for topology generation
+// gen, or nil when the cache holds a different generation or has no
+// entry. Callers must not mutate the returned slice.
+func (c *arCache) lookup(gen uint64, dest graph.NodeID) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return nil
+	}
+	return c.tab[dest]
+}
+
+// store records the table towards dest for generation gen. A write from
+// a superseded generation is dropped; a write from a newer generation
+// flushes every older entry first, so the cache only ever mixes tables
+// from a single topology.
+func (c *arCache) store(gen uint64, dest graph.NodeID, table []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen < c.gen {
+		return
+	}
+	if gen > c.gen {
+		c.gen = gen
+		c.tab = make(map[graph.NodeID][]float64)
+	}
+	c.tab[dest] = table
+}

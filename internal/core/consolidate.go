@@ -45,7 +45,7 @@ func (x *Consolidator) Map(c *cluster.Cluster, v *virtual.Env) (*mapping.Mapping
 		return nil, fmt.Errorf("HMN-C hosting stage: %w", err)
 	}
 	consolidate(led, v, m.GuestHost, x.MaxPasses)
-	if err := network(led, v, m.GuestHost, m.LinkPath, OrderDescendingBW, x.AStar, nil); err != nil {
+	if err := network(led, v, m.GuestHost, m.LinkPath, OrderDescendingBW, x.AStar, nil, nil); err != nil {
 		return nil, fmt.Errorf("HMN-C networking stage: %w", err)
 	}
 	return m, nil

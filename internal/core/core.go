@@ -164,7 +164,7 @@ func (h *HMN) MapWithStats(c *cluster.Cluster, v *virtual.Env) (*mapping.Mapping
 	}
 
 	t2 := time.Now()
-	if err := network(led, v, m.GuestHost, m.LinkPath, h.NetworkOrder, h.AStar, h.Rand); err != nil {
+	if err := network(led, v, m.GuestHost, m.LinkPath, h.NetworkOrder, h.AStar, h.Rand, nil); err != nil {
 		st.NetworkingSeconds = time.Since(t2).Seconds()
 		return nil, st, fmt.Errorf("HMN networking stage: %w", err)
 	}

@@ -27,12 +27,14 @@ import (
 // the Networking stage to calculate the shortest path of each host to the
 // link destination", and the cache is what keeps large instances
 // tractable without changing any result.
-func network(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, order LinkOrder, astar graph.AStarPruneOptions, rng *rand.Rand) error {
+// arc may be nil (one-shot mappers); a session passes its AR cache so
+// repeated admissions on an unchanged topology skip the Dijkstra sweep.
+func network(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, order LinkOrder, astar graph.AStarPruneOptions, rng *rand.Rand, arc *arCache) error {
 	ids := make([]int, v.NumLinks())
 	for i := range ids {
 		ids[i] = i
 	}
-	return routeLinks(led, v, assign, paths, ids, order, astar, rng)
+	return routeLinks(led, v, assign, paths, ids, order, astar, rng, arc)
 }
 
 // routeLinks routes the subset of v's virtual links named by linkIDs,
@@ -41,7 +43,7 @@ func network(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths [
 // of links outside the subset — are respected. It is the whole
 // Networking stage when linkIDs covers every link, and the repair
 // engine's cheap path when it covers only the links a failure broke.
-func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, order LinkOrder, astar graph.AStarPruneOptions, rng *rand.Rand) error {
+func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, order LinkOrder, astar graph.AStarPruneOptions, rng *rand.Rand, arc *arCache) error {
 	net := led.Cluster().Net()
 	bw := led.BandwidthFunc()
 
@@ -78,16 +80,25 @@ func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, path
 	// stays sequential — each reservation changes the residual bandwidth
 	// the next search must see — so this is the stage's only safe
 	// parallelism, and it covers the cost §5.2 identifies as dominant.
-	arCache := precomputeAR(net, links, assign)
+	// With a session AR cache the sweep shrinks to the cache misses.
+	tables := arTables(led, links, assign, arc)
 	arTo := func(dest graph.NodeID) []float64 {
-		if ar, ok := arCache[dest]; ok {
+		if ar, ok := tables[dest]; ok {
 			return ar
 		}
 		// Only reachable if assign changed after precompute — keep a
 		// correct fallback anyway.
 		ar := graph.DijkstraLatency(net, dest)
-		arCache[dest] = ar
+		tables[dest] = ar
 		return ar
+	}
+
+	// One scratch serves the whole stage: routing is sequential, so every
+	// A*Prune search reuses the same open/closed structures instead of
+	// allocating per link.
+	scratch := astar.Scratch
+	if scratch == nil {
+		scratch = graph.NewAStarScratch()
 	}
 
 	for _, link := range links {
@@ -98,6 +109,7 @@ func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, path
 		}
 		opts := astar
 		opts.AR = arTo(dst)
+		opts.Scratch = scratch
 		p, ok := graph.AStarPrune(net, src, dst, link.BW, link.Lat, bw, &opts)
 		if !ok {
 			return fmt.Errorf("%w: link %d (%s-%s, %.3fMbps within %.1fms) between hosts %d and %d",
@@ -114,11 +126,20 @@ func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, path
 	return nil
 }
 
-// precomputeAR computes the Dijkstra latency table for every distinct
-// destination host of the inter-host links, in parallel across
-// GOMAXPROCS workers. Tables are pure functions of the topology, so the
-// computation order cannot affect results.
-func precomputeAR(net *graph.Graph, links []virtual.Link, assign []graph.NodeID) map[graph.NodeID][]float64 {
+// arTables gathers the Dijkstra latency table for every distinct
+// destination host of the inter-host links: from arc when it holds the
+// snapshot's topology generation, computing only the misses — in
+// parallel across GOMAXPROCS workers — and filling the cache for the
+// admissions that follow. Tables are pure functions of the topology, so
+// neither the computation order nor the cache state can affect results.
+//
+// With arc == nil (the one-shot Mapper entry points) the tables ignore
+// cut edges, as they always have: a missing edge only makes the static
+// table a looser — still admissible — bound. Cached tables are computed
+// cut-aware via DijkstraLatencyAvoiding so an entry is exact for the
+// generation that keys it.
+func arTables(led *cluster.Ledger, links []virtual.Link, assign []graph.NodeID, arc *arCache) map[graph.NodeID][]float64 {
+	net := led.Cluster().Net()
 	distinct := make(map[graph.NodeID]bool)
 	for _, link := range links {
 		src, dst := assign[link.From], assign[link.To]
@@ -130,40 +151,68 @@ func precomputeAR(net *graph.Graph, links []virtual.Link, assign []graph.NodeID)
 	if len(distinct) == 0 {
 		return out
 	}
+
+	var gen uint64
 	dests := make([]graph.NodeID, 0, len(distinct))
-	for d := range distinct {
-		dests = append(dests, d)
+	if arc != nil {
+		gen = led.TopoGen()
+		for d := range distinct {
+			if t := arc.lookup(gen, d); t != nil {
+				out[d] = t
+				arc.hits.Add(1)
+			} else {
+				dests = append(dests, d)
+				arc.misses.Add(1)
+			}
+		}
+	} else {
+		for d := range distinct {
+			dests = append(dests, d)
+		}
+	}
+	if len(dests) == 0 {
+		return out
+	}
+
+	compute := func(d graph.NodeID) []float64 {
+		if arc == nil {
+			return graph.DijkstraLatency(net, d)
+		}
+		return graph.DijkstraLatencyAvoiding(net, d, led.EdgeCut)
 	}
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(dests) {
 		workers = len(dests)
 	}
-	if workers <= 1 {
-		for _, d := range dests {
-			out[d] = graph.DijkstraLatency(net, d)
-		}
-		return out
-	}
-	var next int64 = -1
 	tables := make([][]float64, len(dests))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(dests) {
-					return
+	if workers <= 1 {
+		for i, d := range dests {
+			tables[i] = compute(d)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(dests) {
+						return
+					}
+					tables[i] = compute(dests[i])
 				}
-				tables[i] = graph.DijkstraLatency(net, dests[i])
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	for i, d := range dests {
 		out[d] = tables[i]
+		if arc != nil {
+			arc.store(gen, d, tables[i])
+		}
 	}
 	return out
 }

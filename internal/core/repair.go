@@ -116,7 +116,7 @@ func (s *Session) repairOne(old *mapping.Mapping) RepairResult {
 	}
 	attempt := s.led.Clone()
 	nm := mapping.New(s.led.Cluster(), old.Env)
-	if err := s.mapper.mapOnLedger(attempt, old.Env, nm); err != nil {
+	if err := s.mapper.mapOnLedger(attempt, old.Env, nm, s.ar); err != nil {
 		res.Outcome, res.Err = RepairUnrecoverable, err
 		return res
 	}
@@ -155,7 +155,7 @@ func (s *Session) tryReroute(old *mapping.Mapping) (*mapping.Mapping, bool) {
 		nm.LinkPath[l] = p.Clone()
 	}
 	if len(broken) > 0 {
-		if err := s.mapper.rerouteOnLedger(attempt, env, nm.GuestHost, nm.LinkPath, broken); err != nil {
+		if err := s.mapper.rerouteOnLedger(attempt, env, nm.GuestHost, nm.LinkPath, broken, s.ar); err != nil {
 			return nil, false
 		}
 	}

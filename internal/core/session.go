@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
@@ -25,10 +27,19 @@ import (
 // mapped by a plain Mapper — HMN by default — against a ledger primed
 // with the current residuals.
 //
-// A Session is safe for concurrent use; Map and Release serialise on an
-// internal mutex (mapping attempts must observe consistent residuals).
+// A Session is safe for concurrent use. Map admits optimistically: it
+// clones the residual state under a brief lock, runs the full HMN
+// pipeline on the private snapshot with no lock held, then re-acquires
+// the lock and either swaps the snapshot in (nothing changed meanwhile)
+// or validates every reservation against the live residuals and commits
+// them atomically. A bounded number of conflicts falls back to the fully
+// serialized path, so contention can cost retries but never an admission
+// that serial execution would have accepted.
 type Session struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// c is the immutable cluster, readable without the lock; s.led is
+	// guarded state and must not be touched off-lock.
+	c        *cluster.Cluster
 	led      *cluster.Ledger
 	mapper   sessionMapper
 	overhead cluster.VMMOverhead
@@ -39,55 +50,78 @@ type Session struct {
 	// flows through explicit seeds extends to iteration order).
 	active  map[*mapping.Mapping]uint64
 	nextSeq uint64
+	// version counts committed state changes (admissions, releases,
+	// failures, restorations). An optimistic attempt records it at
+	// snapshot time; an unchanged version at commit time proves the
+	// snapshot is still the live state.
+	version uint64
+	// optimisticRetries bounds the optimistic attempts before Map falls
+	// back to mapping under the lock; 0 forces the serialized path.
+	optimisticRetries int
+	// ar caches Dijkstra latency tables across admissions; see arCache.
+	ar *arCache
+
+	optimisticCommits atomic.Uint64
+	conflicts         atomic.Uint64
+	fallbacks         atomic.Uint64
 }
+
+// defaultOptimisticRetries is how many optimistic attempts Map makes
+// before serializing. Conflicts need the live residuals to move during
+// the few milliseconds a mapping takes, so first retries usually land;
+// by the third failure the session is contended enough that the
+// serialized path is cheaper than another wasted pipeline run.
+const defaultOptimisticRetries = 3
 
 // sessionMapper is the subset of mappers a session can drive
 // incrementally: they must accept a pre-primed ledger. HMN and its
 // variants qualify; the retrying baselines do not (they rebuild ledgers
 // internally).
 type sessionMapper interface {
-	mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) error
+	// arc is the session's Dijkstra-table cache; one-shot callers pass
+	// nil and recompute per mapping.
+	mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache) error
 	// rerouteOnLedger re-runs only the Networking stage for the named
 	// virtual links, keeping guest placements fixed — the repair
 	// engine's cheap path after a link failure.
-	rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int) error
+	rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, arc *arCache) error
 }
 
 // mapOnLedger runs the three HMN stages against an existing ledger.
-func (h *HMN) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) error {
+func (h *HMN) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache) error {
 	if err := hosting(led, v, m.GuestHost, !h.DisableHostResort); err != nil {
 		return fmt.Errorf("HMN hosting stage: %w", err)
 	}
 	if !h.DisableMigration {
 		migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope)
 	}
-	if err := network(led, v, m.GuestHost, m.LinkPath, h.NetworkOrder, h.AStar, h.Rand); err != nil {
+	if err := network(led, v, m.GuestHost, m.LinkPath, h.NetworkOrder, h.AStar, h.Rand, arc); err != nil {
 		return fmt.Errorf("HMN networking stage: %w", err)
 	}
 	return nil
 }
 
 // rerouteOnLedger re-routes a link subset with HMN's Networking options.
-func (h *HMN) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int) error {
-	return routeLinks(led, v, assign, paths, linkIDs, h.NetworkOrder, h.AStar, h.Rand)
+func (h *HMN) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, arc *arCache) error {
+	return routeLinks(led, v, assign, paths, linkIDs, h.NetworkOrder, h.AStar, h.Rand, arc)
 }
 
 // mapOnLedger runs Hosting, consolidation and Networking against an
 // existing ledger.
-func (x *Consolidator) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) error {
+func (x *Consolidator) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache) error {
 	if err := hosting(led, v, m.GuestHost, true); err != nil {
 		return fmt.Errorf("HMN-C hosting stage: %w", err)
 	}
 	consolidate(led, v, m.GuestHost, x.MaxPasses)
-	if err := network(led, v, m.GuestHost, m.LinkPath, OrderDescendingBW, x.AStar, nil); err != nil {
+	if err := network(led, v, m.GuestHost, m.LinkPath, OrderDescendingBW, x.AStar, nil, arc); err != nil {
 		return fmt.Errorf("HMN-C networking stage: %w", err)
 	}
 	return nil
 }
 
 // rerouteOnLedger re-routes a link subset with HMN-C's Networking options.
-func (x *Consolidator) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int) error {
-	return routeLinks(led, v, assign, paths, linkIDs, OrderDescendingBW, x.AStar, nil)
+func (x *Consolidator) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, arc *arCache) error {
+	return routeLinks(led, v, assign, paths, linkIDs, OrderDescendingBW, x.AStar, nil, arc)
 }
 
 // NewSession opens a session on c with the VMM overhead deducted once.
@@ -108,15 +142,18 @@ func NewSession(c *cluster.Cluster, overhead cluster.VMMOverhead, mapper Mapper)
 		return nil, fmt.Errorf("session: mapper %s cannot run incrementally (needs a ledger-driven mapper such as HMN or HMN-C)", mapper.Name())
 	}
 	return &Session{
-		led:      led,
-		mapper:   sm,
-		overhead: overhead,
-		active:   make(map[*mapping.Mapping]uint64),
+		c:                 c,
+		led:               led,
+		mapper:            sm,
+		overhead:          overhead,
+		active:            make(map[*mapping.Mapping]uint64),
+		optimisticRetries: defaultOptimisticRetries,
+		ar:                newARCache(),
 	}, nil
 }
 
 // Cluster returns the session's cluster.
-func (s *Session) Cluster() *cluster.Cluster { return s.led.Cluster() }
+func (s *Session) Cluster() *cluster.Cluster { return s.c }
 
 // Active returns the number of environments currently deployed.
 func (s *Session) Active() int {
@@ -134,28 +171,166 @@ func (s *Session) ResidualProc() []float64 {
 	return s.led.ResidualProcAll()
 }
 
-// Map deploys v against the session's current residual resources. On
-// failure the residuals are left exactly as they were (the attempt runs
-// on a clone and commits atomically).
-func (s *Session) Map(v *virtual.Env) (*mapping.Mapping, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// AdmitStats reports how one Map call was admitted.
+type AdmitStats struct {
+	// Conflicts is how many optimistic attempts lost their validation
+	// race and were retried.
+	Conflicts int
+	// Fallback reports that the admission exhausted its optimistic
+	// retries and ran fully serialized under the session lock.
+	Fallback bool
+	// CommitSeconds is the total time spent holding the session lock —
+	// the snapshot clone plus every validate-and-commit (or, on the
+	// fallback, the whole serialized mapping).
+	CommitSeconds float64
+}
 
-	attempt := s.led.Clone()
-	m := mapping.New(s.led.Cluster(), v)
-	if err := s.mapper.mapOnLedger(attempt, v, m); err != nil {
-		return nil, err
+// Map deploys v against the session's current residual resources. On
+// failure the residuals are left exactly as they were (every attempt
+// runs on a private snapshot and commits atomically).
+func (s *Session) Map(v *virtual.Env) (*mapping.Mapping, error) {
+	m, _, err := s.MapWithStats(v)
+	return m, err
+}
+
+// MapWithStats is Map, also reporting how the admission went: how many
+// optimistic attempts conflicted, whether the serialized fallback ran,
+// and the time spent holding the session lock. The mapping result is
+// identical either way.
+func (s *Session) MapWithStats(v *virtual.Env) (*mapping.Mapping, AdmitStats, error) {
+	var st AdmitStats
+	for try := 0; try < s.optimisticRetries; try++ {
+		start := time.Now()
+		s.mu.Lock()
+		snap := s.led.Clone()
+		ver := s.version
+		s.mu.Unlock()
+		st.CommitSeconds += time.Since(start).Seconds()
+
+		// The expensive part — hosting, migration and every A*Prune
+		// search — runs on the private snapshot with no lock held.
+		m := mapping.New(s.c, v)
+		mapErr := s.mapper.mapOnLedger(snap, v, m, s.ar)
+
+		start = time.Now()
+		s.mu.Lock()
+		if s.version == ver {
+			// Nothing committed since the snapshot was taken, so it IS
+			// the live state plus this mapping: swapping it in is
+			// byte-identical to having mapped under the lock — the
+			// serialized semantics, including this attempt's error.
+			if mapErr != nil {
+				s.mu.Unlock()
+				return nil, st, mapErr
+			}
+			s.commitLocked(snap, m)
+			s.mu.Unlock()
+			s.optimisticCommits.Add(1)
+			st.CommitSeconds += time.Since(start).Seconds()
+			return m, st, nil
+		}
+		if mapErr == nil {
+			// The state moved while we mapped. The snapshot's residuals
+			// are stale, but the mapping is still admissible if its net
+			// demands — final placements and path bandwidths — fit the
+			// live residuals; Commit validates exactly that and applies
+			// atomically, or rejects without touching the ledger.
+			if err := s.led.Commit(admissionTxn(s.led, v, m)); err == nil {
+				s.admitLocked(m)
+				s.mu.Unlock()
+				s.optimisticCommits.Add(1)
+				st.CommitSeconds += time.Since(start).Seconds()
+				return m, st, nil
+			}
+		}
+		// A conflicting commit, or a mapping failure on residuals that
+		// have since changed (the failure may be stale): retry against a
+		// fresh snapshot.
+		s.mu.Unlock()
+		st.CommitSeconds += time.Since(start).Seconds()
+		st.Conflicts++
+		s.conflicts.Add(1)
 	}
-	s.commitLocked(attempt, m)
-	return m, nil
+
+	// Retries exhausted (or disabled): serialize. Holding the lock for
+	// the whole mapping guarantees admission whenever the serial path
+	// would admit — contention can never reject an environment the
+	// residuals can hold.
+	st.Fallback = true
+	s.fallbacks.Add(1)
+	start := time.Now()
+	s.mu.Lock()
+	attempt := s.led.Clone()
+	m := mapping.New(s.c, v)
+	err := s.mapper.mapOnLedger(attempt, v, m, s.ar)
+	if err == nil {
+		s.commitLocked(attempt, m)
+	}
+	s.mu.Unlock()
+	st.CommitSeconds += time.Since(start).Seconds()
+	if err != nil {
+		return nil, st, err
+	}
+	return m, st, nil
+}
+
+// admissionTxn collapses a finished mapping into its net effect on the
+// ledger: each guest's demands on its final host and each path's
+// bandwidth. Intermediate moves the Migration stage made cancel out by
+// construction, so validating the transaction is validating Eq. (2),
+// (3) and (9) for the mapping as committed.
+func admissionTxn(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) *cluster.Txn {
+	txn := led.NewTxn()
+	for g, node := range m.GuestHost {
+		guest := v.Guest(virtual.GuestID(g))
+		txn.AddGuest(node, guest.Proc, guest.Mem, guest.Stor)
+	}
+	for l, p := range m.LinkPath {
+		txn.AddPath(p, v.Link(l).BW)
+	}
+	return txn
 }
 
 // commitLocked swaps in the attempt ledger and admits m with the next
 // sequence number. Callers hold s.mu.
 func (s *Session) commitLocked(attempt *cluster.Ledger, m *mapping.Mapping) {
 	s.led = attempt
+	s.admitLocked(m)
+}
+
+// admitLocked registers m as active and bumps the version. Callers hold
+// s.mu and have already applied m's reservations to s.led.
+func (s *Session) admitLocked(m *mapping.Mapping) {
+	s.version++
 	s.nextSeq++
 	s.active[m] = s.nextSeq
+}
+
+// SessionStats are monotonic totals over a session's lifetime.
+type SessionStats struct {
+	// OptimisticCommits counts admissions committed without holding the
+	// lock during mapping.
+	OptimisticCommits uint64
+	// Conflicts counts optimistic attempts that lost their validation
+	// race (each conflicted Map can contribute several).
+	Conflicts uint64
+	// Fallbacks counts admissions that ran on the serialized path.
+	Fallbacks uint64
+	// ARCacheHits and ARCacheMisses count Dijkstra latency-table
+	// lookups served from, respectively filled into, the session cache.
+	ARCacheHits   uint64
+	ARCacheMisses uint64
+}
+
+// AdmissionStats returns the session's admission counters.
+func (s *Session) AdmissionStats() SessionStats {
+	return SessionStats{
+		OptimisticCommits: s.optimisticCommits.Load(),
+		Conflicts:         s.conflicts.Load(),
+		Fallbacks:         s.fallbacks.Load(),
+		ARCacheHits:       s.ar.hits.Load(),
+		ARCacheMisses:     s.ar.misses.Load(),
+	}
 }
 
 // ActiveMappings returns the currently deployed mappings in admission
@@ -250,6 +425,7 @@ func (s *Session) failHostLocked(node graph.NodeID) ([]*mapping.Mapping, error) 
 		s.releaseLocked(m)
 	}
 	s.led.Quarantine(node)
+	s.version++
 	return affected, nil
 }
 
@@ -291,6 +467,7 @@ func (s *Session) failLinkLocked(edgeID int) ([]*mapping.Mapping, error) {
 		s.releaseLocked(m)
 	}
 	s.led.CutEdge(edgeID)
+	s.version++
 	return affected, nil
 }
 
@@ -312,6 +489,7 @@ func (s *Session) RestoreLink(edgeID int) error {
 		return fmt.Errorf("%w: edge %d", ErrNotFailed, edgeID)
 	}
 	s.led.RestoreEdge(edgeID)
+	s.version++
 	return nil
 }
 
@@ -327,6 +505,7 @@ func (s *Session) RestoreHost(node graph.NodeID) error {
 		return fmt.Errorf("%w: host %d", ErrNotFailed, node)
 	}
 	s.led.Unquarantine(node)
+	s.version++
 	return nil
 }
 
@@ -354,4 +533,5 @@ func (s *Session) releaseLocked(m *mapping.Mapping) {
 		s.led.ReleaseBandwidth(p, m.Env.Link(l).BW)
 	}
 	delete(s.active, m)
+	s.version++
 }

@@ -3,6 +3,7 @@ package graph
 import (
 	"container/heap"
 	"math"
+	"sync"
 )
 
 // AStarPruneOptions tunes the modified 1-constrained A*Prune search.
@@ -31,6 +32,131 @@ type AStarPruneOptions struct {
 	// computed internally. Callers mapping many virtual links that share
 	// a destination pass it in to avoid recomputation.
 	AR []float64
+
+	// Scratch optionally supplies reusable search state (candidate heap,
+	// partial-path arena, dominance sets), so a caller routing many links
+	// in sequence — the Networking stage — allocates it once instead of
+	// per search. When nil a scratch is borrowed from an internal
+	// sync.Pool. A scratch is NOT safe for concurrent use.
+	Scratch *AStarScratch
+}
+
+// AStarScratch is the reusable allocation state of AStarPrune: the typed
+// candidate max-heap, a chunked arena for partial-path states, and the
+// epoch-stamped Pareto-dominance sets. Reusing one across sequential
+// searches removes nearly every allocation from the routing hot path.
+// The zero value is ready to use; a scratch must not be shared between
+// goroutines running searches concurrently.
+type AStarScratch struct {
+	heap   []*apState
+	chunks [][]apState
+	chunk  int // chunk the next state comes from
+	used   int // states handed out of chunks[chunk]
+	dom    []paretoSet
+	epoch  uint64
+}
+
+// NewAStarScratch returns an empty scratch. Equivalent to &AStarScratch{};
+// provided for discoverability.
+func NewAStarScratch() *AStarScratch { return &AStarScratch{} }
+
+// scratchPool recycles scratches for callers that do not hold one.
+var scratchPool = sync.Pool{New: func() interface{} { return &AStarScratch{} }}
+
+const apChunkSize = 256
+
+// begin resets the scratch for one search over a graph of n nodes.
+// Dominance sets are invalidated by epoch stamping, not cleared, so reuse
+// is O(1) in the graph size.
+func (sc *AStarScratch) begin(n int, dominance bool) {
+	sc.heap = sc.heap[:0]
+	sc.chunk, sc.used = 0, 0
+	if dominance {
+		if len(sc.dom) < n {
+			sc.dom = make([]paretoSet, n)
+		}
+		sc.epoch++
+		if sc.epoch == 0 { // wrapped: stamps are ambiguous, hard-reset
+			for i := range sc.dom {
+				sc.dom[i] = paretoSet{}
+			}
+			sc.epoch = 1
+		}
+	}
+}
+
+// newState hands out one arena-backed partial-path state. Chunks are kept
+// across searches, so a warmed-up scratch allocates nothing; pointers into
+// earlier chunks stay valid when a new chunk is added.
+func (sc *AStarScratch) newState(node NodeID, edge int, parent *apState, bottleneck, accLat float64, hops int) *apState {
+	if sc.chunk == len(sc.chunks) {
+		sc.chunks = append(sc.chunks, make([]apState, apChunkSize))
+	}
+	s := &sc.chunks[sc.chunk][sc.used]
+	sc.used++
+	if sc.used == apChunkSize {
+		sc.chunk++
+		sc.used = 0
+	}
+	*s = apState{node: node, edge: edge, parent: parent, bottleneck: bottleneck, accLat: accLat, hops: hops}
+	return s
+}
+
+// push adds a state to the typed candidate max-heap (no interface{}
+// boxing, unlike container/heap).
+func (sc *AStarScratch) push(s *apState) {
+	h := append(sc.heap, s)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !apLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	sc.heap = h
+}
+
+// pop removes and returns the best candidate.
+func (sc *AStarScratch) pop() *apState {
+	h := sc.heap
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && apLess(h[l], h[best]) {
+			best = l
+		}
+		if r < n && apLess(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	sc.heap = h
+	return top
+}
+
+// apLess orders states by descending bottleneck bandwidth; ties prefer
+// lower accumulated latency, then fewer hops, for deterministic results.
+// It is the single ordering shared by the typed heap and apHeap.
+func apLess(a, b *apState) bool {
+	if a.bottleneck != b.bottleneck {
+		return a.bottleneck > b.bottleneck
+	}
+	if a.accLat != b.accLat {
+		return a.accLat < b.accLat
+	}
+	return a.hops < b.hops
 }
 
 // AStarPrune implements the paper's modified 1-constrained A*Prune
@@ -70,16 +196,18 @@ func AStarPrune(g *Graph, origin, dest NodeID, bandwidth, latency float64, resid
 		return Path{}, false // even the latency-optimal path busts the budget
 	}
 
-	var dom []paretoSet
-	if !opts.DisableDominance {
-		dom = make([]paretoSet, g.NumNodes())
+	sc := opts.Scratch
+	if sc == nil {
+		sc = scratchPool.Get().(*AStarScratch)
+		defer scratchPool.Put(sc)
 	}
+	dominance := !opts.DisableDominance
+	sc.begin(g.NumNodes(), dominance)
 
-	start := &apState{node: origin, edge: -1, bottleneck: math.Inf(1)}
-	pq := &apHeap{start}
+	sc.push(sc.newState(origin, -1, nil, math.Inf(1), 0, 0))
 	expansions := 0
-	for pq.Len() > 0 {
-		best := heap.Pop(pq).(*apState)
+	for len(sc.heap) > 0 {
+		best := sc.pop()
 		if best.node == dest {
 			return best.path(g), true
 		}
@@ -104,11 +232,10 @@ func AStarPrune(g *Graph, origin, dest NodeID, bandwidth, latency float64, resid
 			if r := residual(eid); r < bn {
 				bn = r
 			}
-			next := &apState{node: h, edge: eid, parent: best, bottleneck: bn, accLat: accLat, hops: best.hops + 1}
-			if dom != nil && !dom[h].insert(bn, accLat) {
+			if dominance && !sc.dom[h].insert(bn, accLat, sc.epoch) {
 				continue // dominated by an already-seen partial path
 			}
-			heap.Push(pq, next)
+			sc.push(sc.newState(h, eid, best, bn, accLat, best.hops+1))
 		}
 	}
 	return Path{}, false
@@ -180,7 +307,7 @@ func AStarPruneK(g *Graph, origin, dest NodeID, bandwidth, latency float64, resi
 				bn = r
 			}
 			next := &apState{node: h, edge: eid, parent: best, bottleneck: bn, accLat: accLat, hops: best.hops + 1}
-			if dom != nil && !dom[h].insert(bn, accLat) {
+			if dom != nil && !dom[h].insert(bn, accLat, 0) {
 				continue
 			}
 			heap.Push(pq, next)
@@ -223,20 +350,12 @@ func (s *apState) path(g *Graph) Path {
 	return Path{Nodes: nodes, Edges: edges}
 }
 
-// apHeap orders states by descending bottleneck bandwidth; ties prefer
-// lower accumulated latency, then fewer hops, for deterministic results.
+// apHeap orders states with apLess through container/heap; kept for the
+// K-path search, whose candidate set outlives single extractions.
 type apHeap []*apState
 
-func (h apHeap) Len() int { return len(h) }
-func (h apHeap) Less(i, j int) bool {
-	if h[i].bottleneck != h[j].bottleneck {
-		return h[i].bottleneck > h[j].bottleneck
-	}
-	if h[i].accLat != h[j].accLat {
-		return h[i].accLat < h[j].accLat
-	}
-	return h[i].hops < h[j].hops
-}
+func (h apHeap) Len() int            { return len(h) }
+func (h apHeap) Less(i, j int) bool  { return apLess(h[i], h[j]) }
 func (h apHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *apHeap) Push(x interface{}) { *h = append(*h, x.(*apState)) }
 func (h *apHeap) Pop() interface{} {
@@ -251,7 +370,10 @@ func (h *apHeap) Pop() interface{} {
 // paretoSet keeps the non-dominated (bottleneck, latency) pairs seen at a
 // node. A new pair dominates an old one when its bottleneck is >= and its
 // latency is <=; equal pairs count as dominated (the first arrival wins).
+// The epoch stamp lets a reused scratch invalidate every set in O(1): a
+// set whose epoch differs from the current search's is logically empty.
 type paretoSet struct {
+	epoch uint64
 	pairs []paretoPair
 }
 
@@ -261,8 +383,13 @@ type paretoPair struct {
 }
 
 // insert reports whether the pair is non-dominated; if so it is recorded
-// and any pairs it dominates are dropped.
-func (ps *paretoSet) insert(bottleneck, latency float64) bool {
+// and any pairs it dominates are dropped. epoch identifies the current
+// search for scratch reuse; callers with a fresh set pass 0.
+func (ps *paretoSet) insert(bottleneck, latency float64, epoch uint64) bool {
+	if ps.epoch != epoch {
+		ps.epoch = epoch
+		ps.pairs = ps.pairs[:0]
+	}
 	for _, p := range ps.pairs {
 		if p.bottleneck >= bottleneck && p.latency <= latency {
 			return false

@@ -254,19 +254,19 @@ func TestAStarPruneDominanceAgreesWithPlain(t *testing.T) {
 
 func TestParetoSet(t *testing.T) {
 	var ps paretoSet
-	if !ps.insert(5, 10) {
+	if !ps.insert(5, 10, 0) {
 		t.Fatal("first pair must be accepted")
 	}
-	if ps.insert(4, 11) {
+	if ps.insert(4, 11, 0) {
 		t.Fatal("(4,11) is dominated by (5,10)")
 	}
-	if ps.insert(5, 10) {
+	if ps.insert(5, 10, 0) {
 		t.Fatal("duplicate pair counts as dominated")
 	}
-	if !ps.insert(6, 12) {
+	if !ps.insert(6, 12, 0) {
 		t.Fatal("(6,12) trades latency for bandwidth; not dominated")
 	}
-	if !ps.insert(7, 9) {
+	if !ps.insert(7, 9, 0) {
 		t.Fatal("(7,9) dominates everything; must be accepted")
 	}
 	if len(ps.pairs) != 1 {

@@ -13,6 +13,16 @@ import (
 // to it) and serves as the admissible estimate that prunes infeasible
 // partial paths in A*Prune.
 func DijkstraLatency(g *Graph, src NodeID) []float64 {
+	return DijkstraLatencyAvoiding(g, src, nil)
+}
+
+// DijkstraLatencyAvoiding is DijkstraLatency restricted to the edges for
+// which avoid reports false; nil avoids nothing. Sessions use it to keep
+// cached ar[] tables exact on a degraded cluster: excluding cut physical
+// links tightens the admissible bound (a cut link carries no feasible
+// path), which only sharpens A*Prune's pruning and never changes which
+// paths are feasible.
+func DijkstraLatencyAvoiding(g *Graph, src NodeID, avoid func(edgeID int) bool) []float64 {
 	dist := make([]float64, g.NumNodes())
 	for i := range dist {
 		dist[i] = math.Inf(1)
@@ -25,6 +35,9 @@ func DijkstraLatency(g *Graph, src NodeID) []float64 {
 			continue // stale entry
 		}
 		for _, eid := range g.Incident(item.node) {
+			if avoid != nil && avoid(eid) {
+				continue
+			}
 			e := g.Edge(eid)
 			v := e.Other(item.node)
 			if nd := item.dist + e.Latency; nd < dist[v] {

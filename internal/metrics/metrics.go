@@ -162,22 +162,24 @@ type family struct {
 // safe for concurrent use; Counter/Gauge/Histogram are idempotent, so
 // handlers may look series up by name on every request.
 type Registry struct {
-	mu         sync.Mutex
-	families   map[string]family
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	gaugeFuncs map[string]func() float64
-	hists      map[string]*Histogram
+	mu           sync.Mutex
+	families     map[string]family
+	counters     map[string]*Counter
+	gauges       map[string]*Gauge
+	gaugeFuncs   map[string]func() float64
+	counterFuncs map[string]func() float64
+	hists        map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		families:   make(map[string]family),
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		gaugeFuncs: make(map[string]func() float64),
-		hists:      make(map[string]*Histogram),
+		families:     make(map[string]family),
+		counters:     make(map[string]*Counter),
+		gauges:       make(map[string]*Gauge),
+		gaugeFuncs:   make(map[string]func() float64),
+		counterFuncs: make(map[string]func() float64),
+		hists:        make(map[string]*Histogram),
 	}
 }
 
@@ -236,6 +238,18 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.gaugeFuncs[name] = fn
 }
 
+// CounterFunc registers a counter whose value is computed by fn at every
+// scrape — for totals another component already accumulates (e.g. a
+// session's admission-conflict counters), so the daemon need not mirror
+// them on every event. fn must be monotonically non-decreasing to honour
+// counter semantics. Re-registering a name replaces its callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, kindCounter)
+	r.counterFuncs[name] = fn
+}
+
 // Histogram returns the histogram registered under name, creating it on
 // first use with the given ascending bucket upper bounds (nil means
 // DefLatencyBuckets).
@@ -267,6 +281,7 @@ func (r *Registry) Unregister(name string) {
 	delete(r.counters, name)
 	delete(r.gauges, name)
 	delete(r.gaugeFuncs, name)
+	delete(r.counterFuncs, name)
 	delete(r.hists, name)
 	fam := familyOf(name)
 	for n := range r.counters {
@@ -280,6 +295,11 @@ func (r *Registry) Unregister(name string) {
 		}
 	}
 	for n := range r.gaugeFuncs {
+		if familyOf(n) == fam {
+			return
+		}
+	}
+	for n := range r.counterFuncs {
 		if familyOf(n) == fam {
 			return
 		}
@@ -343,6 +363,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	var fns []pendingFn
 	for name, fn := range r.gaugeFuncs {
+		fns = append(fns, pendingFn{get(name), name, fn})
+	}
+	for name, fn := range r.counterFuncs {
 		fns = append(fns, pendingFn{get(name), name, fn})
 	}
 	for name, h := range r.hists {

@@ -195,3 +195,38 @@ func TestConcurrentUseUnderRace(t *testing.T) {
 		t.Fatalf("counter = %d, want 1600", got)
 	}
 }
+
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.CounterFunc(`cache_hits_total{session="s1"}`, "cache hits", func() float64 { n += 5; return n })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE cache_hits_total counter") {
+		t.Fatalf("callback counter not typed as counter:\n%s", out)
+	}
+	if !strings.Contains(out, `cache_hits_total{session="s1"} 5`) {
+		t.Fatalf("callback counter not evaluated at scrape:\n%s", out)
+	}
+	// Re-scrape re-evaluates.
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `cache_hits_total{session="s1"} 10`) {
+		t.Fatalf("callback counter stale on second scrape:\n%s", b.String())
+	}
+
+	r.Unregister(`cache_hits_total{session="s1"}`)
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "cache_hits_total") {
+		t.Fatal("unregistered callback counter still exposed")
+	}
+}

@@ -147,9 +147,13 @@ type Server struct {
 
 	mLatency       *metrics.Histogram
 	mRepairLatency *metrics.Histogram
+	mCommitLatency *metrics.Histogram
 	mQueue         *metrics.Gauge
 	mEnvs          *metrics.Gauge
 	mSessions      *metrics.Gauge
+	mConflicts     *metrics.Counter
+	mFallbacks     *metrics.Counter
+	mOptimistic    *metrics.Counter
 }
 
 // New builds a server and starts its worker pool.
@@ -166,6 +170,14 @@ func New(cfg Config) *Server {
 			"Wall time of environment map attempts.", nil),
 		mRepairLatency: reg.Histogram("hmnd_repair_latency_seconds",
 			"Wall time of fail-and-repair operations (eviction plus re-mapping).", nil),
+		mCommitLatency: reg.Histogram("hmnd_commit_latency_seconds",
+			"Time an admission held the session lock (snapshot plus validate-and-commit; the whole mapping on the serialized fallback).", nil),
+		mConflicts: reg.Counter("hmnd_admit_conflicts_total",
+			"Optimistic admission attempts that lost their validation race and retried."),
+		mFallbacks: reg.Counter("hmnd_admit_fallbacks_total",
+			"Admissions that exhausted optimistic retries and ran serialized."),
+		mOptimistic: reg.Counter("hmnd_admit_optimistic_total",
+			"Admissions committed optimistically (mapping ran with no lock held)."),
 		mQueue: reg.Gauge("hmnd_queue_depth",
 			"Requests waiting in the admission queue."),
 		mEnvs: reg.Gauge("hmnd_active_envs",
@@ -194,6 +206,18 @@ func New(cfg Config) *Server {
 	reg.GaugeFunc("hmnd_cut_links",
 		"Physical links currently cut, across sessions.",
 		func() float64 { return s.sumSessions((*core.Session).CutLinks) })
+	// AR-cache totals live in each session's counters already; expose
+	// them as scrape-time callbacks instead of mirroring every event.
+	reg.CounterFunc("hmnd_ar_cache_hits_total",
+		"Dijkstra latency tables served from the session AR caches.",
+		func() float64 {
+			return s.sumSessionsU64(func(c *core.Session) uint64 { return c.AdmissionStats().ARCacheHits })
+		})
+	reg.CounterFunc("hmnd_ar_cache_misses_total",
+		"Dijkstra latency tables computed and filled into the session AR caches.",
+		func() float64 {
+			return s.sumSessionsU64(func(c *core.Session) uint64 { return c.AdmissionStats().ARCacheMisses })
+		})
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -404,8 +428,15 @@ func (s *Server) handleMapEnv(w http.ResponseWriter, r *http.Request) {
 		}
 		attempted.Inc()
 		t0 := time.Now()
-		m, err := sess.core.Map(env)
+		m, admit, err := sess.core.MapWithStats(env)
 		s.mLatency.Observe(time.Since(t0).Seconds())
+		s.mCommitLatency.Observe(admit.CommitSeconds)
+		s.mConflicts.Add(uint64(admit.Conflicts))
+		if admit.Fallback {
+			s.mFallbacks.Inc()
+		} else {
+			s.mOptimistic.Inc()
+		}
 		if err != nil {
 			failed.Inc()
 			mapErr = err
@@ -549,6 +580,17 @@ func (s *Server) sumSessions(f func(*core.Session) int) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	total := 0
+	for _, sess := range s.sessions {
+		total += f(sess.core)
+	}
+	return float64(total)
+}
+
+// sumSessionsU64 is sumSessions for the sessions' uint64 counters.
+func (s *Server) sumSessionsU64(f func(*core.Session) uint64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total uint64
 	for _, sess := range s.sessions {
 		total += f(sess.core)
 	}

@@ -242,6 +242,21 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatalf("stddev gauge = %v", stddev)
 	}
 
+	// Admission accounting: every attempt committed optimistically or
+	// serialized, the commit-latency histogram saw each of them, and the
+	// repeated same-topology admissions must have hit the AR cache.
+	optimistic := metricValue(t, text, "hmnd_admit_optimistic_total")
+	fallbacks := metricValue(t, text, "hmnd_admit_fallbacks_total")
+	if int(optimistic+fallbacks) != succeeded+failed {
+		t.Fatalf("optimistic %v + fallbacks %v != attempts %d", optimistic, fallbacks, succeeded+failed)
+	}
+	if got := metricValue(t, text, "hmnd_commit_latency_seconds_count"); int(got) != succeeded+failed {
+		t.Fatalf("commit latency count = %v, want %d", got, succeeded+failed)
+	}
+	if misses := metricValue(t, text, "hmnd_ar_cache_misses_total"); misses <= 0 {
+		t.Fatalf("AR cache misses = %v, want > 0", misses)
+	}
+
 	// Release everything concurrently.
 	wg = sync.WaitGroup{}
 	for _, r := range results {
