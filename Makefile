@@ -1,0 +1,25 @@
+GOPATH_BIN := $(shell go env GOPATH)/bin
+
+.PHONY: build test lint vet fuzz clean
+
+build:
+	go build ./...
+
+test:
+	go test -race -shuffle=on ./...
+
+## lint runs the repo's own analyzers (cmd/hmnlint) standalone, then as
+## a cmd/go vettool — the exact invocation CI gates on.
+lint:
+	go run ./cmd/hmnlint ./...
+	go install ./cmd/hmnlint
+	go vet -vettool="$(GOPATH_BIN)/hmnlint" ./...
+
+vet:
+	go vet ./...
+
+fuzz:
+	go test -run '^$$' -fuzz FuzzDecodeSpec -fuzztime 30s ./internal/spec
+
+clean:
+	go clean ./...

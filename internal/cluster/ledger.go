@@ -22,16 +22,28 @@ var ErrOverheadExceedsCapacity = errors.New("cluster: VMM overhead exceeds a hos
 // (Eq. 9).
 //
 // A Ledger belongs to a single mapping attempt and is not safe for
-// concurrent use; concurrent experiments each build their own.
+// concurrent use; concurrent experiments each build their own. It has no
+// lock of its own, so its mutable state is annotated with the external
+// capability token "session": the caller must either hold the owning
+// *core.Session's mutex or be the ledger's sole owner (a private clone,
+// a one-shot mapping attempt). Methods marked //hmn:locked session carry
+// that obligation to their callers.
 type Ledger struct {
-	c           *Cluster
-	proc        []float64 // residual CPU per host index (may go negative)
-	mem         []int64   // residual memory per host index
-	stor        []float64 // residual storage per host index
-	bw          []float64 // residual bandwidth per edge ID
-	quarantined []bool    // per host index: no new guests accepted
-	cutEdges    []bool    // per edge ID: carries no new traffic
-	topoGen     uint64    // bumped by CutEdge/RestoreEdge; keys derived caches
+	c *Cluster
+	// residual CPU per host index (may go negative)
+	proc []float64 //hmn:guardedby session
+	// residual memory per host index
+	mem []int64 //hmn:guardedby session
+	// residual storage per host index
+	stor []float64 //hmn:guardedby session
+	// residual bandwidth per edge ID
+	bw []float64 //hmn:guardedby session
+	// per host index: no new guests accepted
+	quarantined []bool //hmn:guardedby session
+	// per edge ID: carries no new traffic
+	cutEdges []bool //hmn:guardedby session
+	// bumped by CutEdge/RestoreEdge; keys derived caches
+	topoGen uint64 //hmn:guardedby session
 }
 
 // NewLedger returns a ledger initialised to each host's capacity minus the
@@ -66,6 +78,8 @@ func (l *Ledger) Cluster() *Cluster { return l.c }
 
 // Clone returns an independent copy of the ledger, used for what-if
 // evaluation during the Migration stage and by retrying baselines.
+//
+//hmn:locked session
 func (l *Ledger) Clone() *Ledger {
 	return &Ledger{
 		c:           l.c,
@@ -82,6 +96,8 @@ func (l *Ledger) Clone() *Ledger {
 // Fits reports whether a guest demanding mem MB and stor GB satisfies the
 // hard constraints (Eq. 2, Eq. 3) on the host at node. CPU is not checked
 // — per §3.2 it is the optimisation variable, not a constraint.
+//
+//hmn:locked session
 func (l *Ledger) Fits(node graph.NodeID, mem int64, stor float64) bool {
 	i := l.c.hostIdx(node)
 	return !l.quarantined[i] && l.mem[i] >= mem && l.stor[i] >= stor
@@ -96,16 +112,22 @@ func (l *Ledger) Fits(node graph.NodeID, mem int64, stor float64) bool {
 // Quarantine a host between mapping attempts, not while one is running:
 // the Migration stage assumes it can restore a reservation it just
 // released on the same host.
+//
+//hmn:locked session
 func (l *Ledger) Quarantine(node graph.NodeID) {
 	l.quarantined[l.c.hostIdx(node)] = true
 }
 
 // Quarantined reports whether the host at node is quarantined.
+//
+//hmn:locked session
 func (l *Ledger) Quarantined(node graph.NodeID) bool {
 	return l.quarantined[l.c.hostIdx(node)]
 }
 
 // Unquarantine readmits the host at node.
+//
+//hmn:locked session
 func (l *Ledger) Unquarantine(node graph.NodeID) {
 	l.quarantined[l.c.hostIdx(node)] = false
 }
@@ -113,6 +135,8 @@ func (l *Ledger) Unquarantine(node graph.NodeID) {
 // ReserveGuest deducts a guest's demands from the host at node. It returns
 // an error (leaving the ledger untouched) when memory or storage would go
 // negative; residual CPU is allowed to go negative.
+//
+//hmn:locked session
 func (l *Ledger) ReserveGuest(node graph.NodeID, proc float64, mem int64, stor float64) error {
 	i := l.c.hostIdx(node)
 	if l.quarantined[i] {
@@ -133,6 +157,8 @@ func (l *Ledger) ReserveGuest(node graph.NodeID, proc float64, mem int64, stor f
 // ReleaseGuest returns a guest's demands to the host at node. It is the
 // inverse of ReserveGuest and is used when the Migration stage moves a
 // guest away.
+//
+//hmn:locked session
 func (l *Ledger) ReleaseGuest(node graph.NodeID, proc float64, mem int64, stor float64) {
 	i := l.c.hostIdx(node)
 	l.proc[i] += proc
@@ -141,23 +167,33 @@ func (l *Ledger) ReleaseGuest(node graph.NodeID, proc float64, mem int64, stor f
 }
 
 // ResidualProc returns the residual CPU of the host at node in MIPS.
+//
+//hmn:locked session
 func (l *Ledger) ResidualProc(node graph.NodeID) float64 { return l.proc[l.c.hostIdx(node)] }
 
 // ResidualMem returns the residual memory of the host at node in MB.
+//
+//hmn:locked session
 func (l *Ledger) ResidualMem(node graph.NodeID) int64 { return l.mem[l.c.hostIdx(node)] }
 
 // ResidualStor returns the residual storage of the host at node in GB.
+//
+//hmn:locked session
 func (l *Ledger) ResidualStor(node graph.NodeID) float64 { return l.stor[l.c.hostIdx(node)] }
 
 // ResidualProcAll returns a copy of the residual CPU of every host, in
 // host declaration order — the rproc vector of Eq. 11 that the objective
 // function (Eq. 10) takes the population standard deviation of.
+//
+//hmn:locked session
 func (l *Ledger) ResidualProcAll() []float64 {
 	return append([]float64(nil), l.proc...)
 }
 
 // ResidualBandwidth returns the residual bandwidth of the given edge,
 // or 0 while the edge is cut.
+//
+//hmn:locked session
 func (l *Ledger) ResidualBandwidth(edgeID int) float64 {
 	if l.cutEdges[edgeID] {
 		return 0
@@ -170,15 +206,21 @@ func (l *Ledger) ResidualBandwidth(edgeID int) float64 {
 // ReserveBandwidth refuses paths that cross it. Bandwidth already
 // reserved on it stays accounted until released. Models link failures
 // and maintenance.
+//
+//hmn:locked session
 func (l *Ledger) CutEdge(edgeID int) {
 	l.cutEdges[edgeID] = true
 	l.topoGen++
 }
 
 // EdgeCut reports whether the edge is currently cut.
+//
+//hmn:locked session
 func (l *Ledger) EdgeCut(edgeID int) bool { return l.cutEdges[edgeID] }
 
 // RestoreEdge readmits a previously cut edge.
+//
+//hmn:locked session
 func (l *Ledger) RestoreEdge(edgeID int) {
 	l.cutEdges[edgeID] = false
 	l.topoGen++
@@ -189,6 +231,8 @@ func (l *Ledger) RestoreEdge(edgeID int) {
 // the Networking stage's Dijkstra ar[] tables — key their entries by it,
 // so a link failure or restoration invalidates them without any explicit
 // registration. Clones inherit the generation of their source.
+//
+//hmn:locked session
 func (l *Ledger) TopoGen() uint64 { return l.topoGen }
 
 // BandwidthFunc returns a residual-bandwidth view suitable for the search
@@ -201,6 +245,8 @@ func (l *Ledger) BandwidthFunc() graph.BandwidthFunc {
 // ReserveBandwidth deducts bw Mbps from every edge of path, checking all
 // edges before modifying any so that a failure leaves the ledger
 // untouched. The trivial (intra-host) path reserves nothing.
+//
+//hmn:locked session
 func (l *Ledger) ReserveBandwidth(path graph.Path, bw float64) error {
 	for _, eid := range path.Edges {
 		if l.cutEdges[eid] {
@@ -218,6 +264,8 @@ func (l *Ledger) ReserveBandwidth(path graph.Path, bw float64) error {
 
 // ReleaseBandwidth returns bw Mbps to every edge of path; the inverse of
 // ReserveBandwidth.
+//
+//hmn:locked session
 func (l *Ledger) ReleaseBandwidth(path graph.Path, bw float64) {
 	for _, eid := range path.Edges {
 		l.bw[eid] += bw

@@ -71,6 +71,12 @@ func (t *Txn) Edges() int { return len(t.edges) }
 // like ReserveGuest (§3.2 treats it as the optimisation variable, not a
 // constraint). Hosts and edges are checked in ascending index order so a
 // given conflict always produces the same error.
+//
+// Commit is the validate-and-apply entry point of the optimistic
+// admission pipeline: callers hold the owning session's lock (or own
+// the ledger outright), as on every other ledger mutation.
+//
+//hmn:locked session
 func (l *Ledger) Commit(t *Txn) error {
 	if t.c != l.c {
 		return fmt.Errorf("cluster: transaction built for a different cluster")

@@ -24,8 +24,8 @@ import (
 // tables and store discards writes from superseded generations).
 type arCache struct {
 	mu  sync.Mutex
-	gen uint64
-	tab map[graph.NodeID][]float64
+	gen uint64                     //hmn:guardedby mu
+	tab map[graph.NodeID][]float64 //hmn:guardedby mu
 
 	hits   atomic.Uint64
 	misses atomic.Uint64

@@ -148,27 +148,27 @@ func (h *HMN) MapWithStats(c *cluster.Cluster, v *virtual.Env) (*mapping.Mapping
 	}
 	m := mapping.New(c, v)
 
-	t0 := time.Now()
+	t0 := time.Now() //hmn:wallclock
 	if err := hosting(led, v, m.GuestHost, !h.DisableHostResort); err != nil {
-		st.HostingSeconds = time.Since(t0).Seconds()
+		st.HostingSeconds = time.Since(t0).Seconds() //hmn:wallclock
 		return nil, st, fmt.Errorf("HMN hosting stage: %w", err)
 	}
-	st.HostingSeconds = time.Since(t0).Seconds()
+	st.HostingSeconds = time.Since(t0).Seconds() //hmn:wallclock
 
 	if !h.DisableMigration {
-		t1 := time.Now()
+		t1 := time.Now() //hmn:wallclock
 		st.Migration.ObjectiveBefore = mapping.Objective(led.ResidualProcAll())
 		st.Migration.Moves = migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope)
 		st.Migration.ObjectiveAfter = mapping.Objective(led.ResidualProcAll())
-		st.MigrationSeconds = time.Since(t1).Seconds()
+		st.MigrationSeconds = time.Since(t1).Seconds() //hmn:wallclock
 	}
 
-	t2 := time.Now()
+	t2 := time.Now() //hmn:wallclock
 	if err := network(led, v, m.GuestHost, m.LinkPath, h.NetworkOrder, h.AStar, h.Rand, nil); err != nil {
-		st.NetworkingSeconds = time.Since(t2).Seconds()
+		st.NetworkingSeconds = time.Since(t2).Seconds() //hmn:wallclock
 		return nil, st, fmt.Errorf("HMN networking stage: %w", err)
 	}
-	st.NetworkingSeconds = time.Since(t2).Seconds()
+	st.NetworkingSeconds = time.Since(t2).Seconds() //hmn:wallclock
 	return m, st, nil
 }
 

@@ -156,6 +156,9 @@ func arTables(led *cluster.Ledger, links []virtual.Link, assign []graph.NodeID, 
 	dests := make([]graph.NodeID, 0, len(distinct))
 	if arc != nil {
 		gen = led.TopoGen()
+		// Tables are pure per-destination; the visit order cannot leak
+		// into out, the cache, or the hit/miss totals.
+		//hmn:orderinvariant
 		for d := range distinct {
 			if t := arc.lookup(gen, d); t != nil {
 				out[d] = t
@@ -166,6 +169,7 @@ func arTables(led *cluster.Ledger, links []virtual.Link, assign []graph.NodeID, 
 			}
 		}
 	} else {
+		//hmn:orderinvariant
 		for d := range distinct {
 			dests = append(dests, d)
 		}

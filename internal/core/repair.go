@@ -99,6 +99,7 @@ func (s *Session) FailLinkAndRepair(edgeID int) ([]RepairResult, error) {
 	return s.repairLocked(evicted), nil
 }
 
+//hmn:locked mu
 func (s *Session) repairLocked(evicted []*mapping.Mapping) []RepairResult {
 	results := make([]RepairResult, 0, len(evicted))
 	for _, old := range evicted {
@@ -108,6 +109,9 @@ func (s *Session) repairLocked(evicted []*mapping.Mapping) []RepairResult {
 }
 
 // repairOne attempts the cheap path first, then the full re-map.
+// Callers hold s.mu.
+//
+//hmn:locked mu
 func (s *Session) repairOne(old *mapping.Mapping) RepairResult {
 	res := RepairResult{Env: old.Env, Old: old}
 	if nm, ok := s.tryReroute(old); ok {
@@ -131,7 +135,9 @@ func (s *Session) repairOne(old *mapping.Mapping) RepairResult {
 // ones. It fails — without touching the session — when some original
 // host no longer accepts its guests (quarantined, or its resources went
 // to another tenant) or some broken path cannot be routed around the
-// failure.
+// failure. Callers hold s.mu.
+//
+//hmn:locked mu
 func (s *Session) tryReroute(old *mapping.Mapping) (*mapping.Mapping, bool) {
 	env := old.Env
 	attempt := s.led.Clone()

@@ -40,7 +40,7 @@ type Session struct {
 	// c is the immutable cluster, readable without the lock; s.led is
 	// guarded state and must not be touched off-lock.
 	c        *cluster.Cluster
-	led      *cluster.Ledger
+	led      *cluster.Ledger //hmn:guardedby mu
 	mapper   sessionMapper
 	overhead cluster.VMMOverhead
 	// active maps each deployed environment to its admission sequence
@@ -48,13 +48,13 @@ type Session struct {
 	// eviction and repair process environments oldest-first, so failure
 	// handling is deterministic (the repo-wide rule that all randomness
 	// flows through explicit seeds extends to iteration order).
-	active  map[*mapping.Mapping]uint64
-	nextSeq uint64
+	active  map[*mapping.Mapping]uint64 //hmn:guardedby mu
+	nextSeq uint64                      //hmn:guardedby mu
 	// version counts committed state changes (admissions, releases,
 	// failures, restorations). An optimistic attempt records it at
 	// snapshot time; an unchanged version at commit time proves the
 	// snapshot is still the live state.
-	version uint64
+	version uint64 //hmn:guardedby mu
 	// optimisticRetries bounds the optimistic attempts before Map falls
 	// back to mapping under the lock; 0 forces the serialized path.
 	optimisticRetries int
@@ -200,19 +200,19 @@ func (s *Session) Map(v *virtual.Env) (*mapping.Mapping, error) {
 func (s *Session) MapWithStats(v *virtual.Env) (*mapping.Mapping, AdmitStats, error) {
 	var st AdmitStats
 	for try := 0; try < s.optimisticRetries; try++ {
-		start := time.Now()
+		start := time.Now() //hmn:wallclock
 		s.mu.Lock()
 		snap := s.led.Clone()
 		ver := s.version
 		s.mu.Unlock()
-		st.CommitSeconds += time.Since(start).Seconds()
+		st.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
 
 		// The expensive part — hosting, migration and every A*Prune
 		// search — runs on the private snapshot with no lock held.
 		m := mapping.New(s.c, v)
 		mapErr := s.mapper.mapOnLedger(snap, v, m, s.ar)
 
-		start = time.Now()
+		start = time.Now() //hmn:wallclock
 		s.mu.Lock()
 		if s.version == ver {
 			// Nothing committed since the snapshot was taken, so it IS
@@ -226,7 +226,7 @@ func (s *Session) MapWithStats(v *virtual.Env) (*mapping.Mapping, AdmitStats, er
 			s.commitLocked(snap, m)
 			s.mu.Unlock()
 			s.optimisticCommits.Add(1)
-			st.CommitSeconds += time.Since(start).Seconds()
+			st.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
 			return m, st, nil
 		}
 		if mapErr == nil {
@@ -239,7 +239,7 @@ func (s *Session) MapWithStats(v *virtual.Env) (*mapping.Mapping, AdmitStats, er
 				s.admitLocked(m)
 				s.mu.Unlock()
 				s.optimisticCommits.Add(1)
-				st.CommitSeconds += time.Since(start).Seconds()
+				st.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
 				return m, st, nil
 			}
 		}
@@ -247,7 +247,7 @@ func (s *Session) MapWithStats(v *virtual.Env) (*mapping.Mapping, AdmitStats, er
 		// have since changed (the failure may be stale): retry against a
 		// fresh snapshot.
 		s.mu.Unlock()
-		st.CommitSeconds += time.Since(start).Seconds()
+		st.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
 		st.Conflicts++
 		s.conflicts.Add(1)
 	}
@@ -258,7 +258,7 @@ func (s *Session) MapWithStats(v *virtual.Env) (*mapping.Mapping, AdmitStats, er
 	// residuals can hold.
 	st.Fallback = true
 	s.fallbacks.Add(1)
-	start := time.Now()
+	start := time.Now() //hmn:wallclock
 	s.mu.Lock()
 	attempt := s.led.Clone()
 	m := mapping.New(s.c, v)
@@ -267,7 +267,7 @@ func (s *Session) MapWithStats(v *virtual.Env) (*mapping.Mapping, AdmitStats, er
 		s.commitLocked(attempt, m)
 	}
 	s.mu.Unlock()
-	st.CommitSeconds += time.Since(start).Seconds()
+	st.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
 	if err != nil {
 		return nil, st, err
 	}
@@ -293,6 +293,8 @@ func admissionTxn(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) *clus
 
 // commitLocked swaps in the attempt ledger and admits m with the next
 // sequence number. Callers hold s.mu.
+//
+//hmn:locked mu
 func (s *Session) commitLocked(attempt *cluster.Ledger, m *mapping.Mapping) {
 	s.led = attempt
 	s.admitLocked(m)
@@ -300,6 +302,8 @@ func (s *Session) commitLocked(attempt *cluster.Ledger, m *mapping.Mapping) {
 
 // admitLocked registers m as active and bumps the version. Callers hold
 // s.mu and have already applied m's reservations to s.led.
+//
+//hmn:locked mu
 func (s *Session) admitLocked(m *mapping.Mapping) {
 	s.version++
 	s.nextSeq++
@@ -401,6 +405,7 @@ func (s *Session) FailHost(node graph.NodeID) ([]*mapping.Mapping, error) {
 	return s.failHostLocked(node)
 }
 
+//hmn:locked mu
 func (s *Session) failHostLocked(node graph.NodeID) ([]*mapping.Mapping, error) {
 	if !s.led.Cluster().IsHost(node) {
 		return nil, fmt.Errorf("%w: node %d is not a host", ErrUnknownTarget, node)
@@ -443,6 +448,7 @@ func (s *Session) FailLink(edgeID int) ([]*mapping.Mapping, error) {
 	return s.failLinkLocked(edgeID)
 }
 
+//hmn:locked mu
 func (s *Session) failLinkLocked(edgeID int) ([]*mapping.Mapping, error) {
 	if edgeID < 0 || edgeID >= s.led.Cluster().Net().NumEdges() {
 		return nil, fmt.Errorf("%w: edge %d out of range", ErrUnknownTarget, edgeID)
@@ -473,6 +479,8 @@ func (s *Session) failLinkLocked(edgeID int) ([]*mapping.Mapping, error) {
 
 // sortByAdmission orders mappings by their admission sequence number,
 // oldest first. Callers hold s.mu and pass mappings still in s.active.
+//
+//hmn:locked mu
 func (s *Session) sortByAdmission(ms []*mapping.Mapping) {
 	sort.Slice(ms, func(i, j int) bool { return s.active[ms[i]] < s.active[ms[j]] })
 }
@@ -524,6 +532,7 @@ func (s *Session) Release(m *mapping.Mapping) error {
 	return nil
 }
 
+//hmn:locked mu
 func (s *Session) releaseLocked(m *mapping.Mapping) {
 	for g, node := range m.GuestHost {
 		guest := m.Env.Guest(virtual.GuestID(g))

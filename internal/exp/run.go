@@ -241,11 +241,11 @@ func execute(cfg Config, sc Scenario, topo Topology, name string, rep int, c *cl
 	expCfg := cfg.Experiment
 	expCfg.Overhead = cfg.Overhead
 
-	start := time.Now()
+	start := time.Now() //hmn:wallclock
 	if name == "HMN" {
 		h := &core.HMN{Overhead: cfg.Overhead}
 		m, st, err := h.MapWithStats(c, env)
-		r.MapSeconds = time.Since(start).Seconds()
+		r.MapSeconds = time.Since(start).Seconds() //hmn:wallclock
 		r.Stages = st
 		if err != nil {
 			r.Err = err.Error()
@@ -260,7 +260,7 @@ func execute(cfg Config, sc Scenario, topo Topology, name string, rep int, c *cl
 
 	mapper := newBaseline(name, cfg, seed)
 	m, err := mapper.Map(c, env)
-	r.MapSeconds = time.Since(start).Seconds()
+	r.MapSeconds = time.Since(start).Seconds() //hmn:wallclock
 	if err != nil {
 		r.Err = err.Error()
 		return r

@@ -215,8 +215,18 @@ func (r *Results) Figure1(topo Topology) []Figure1Point {
 		a.netSecs.Add(run.Stages.NetworkingSeconds)
 		a.totSecs.Add(run.MapSeconds)
 	}
-	var out []Figure1Point
-	for _, a := range byLabel {
+	// Emit in sorted label order: the final sort below breaks ties by
+	// the order points were appended, so building out from a map range
+	// would leak iteration order into the table when two scenarios map
+	// the same number of links.
+	labels := make([]string, 0, len(byLabel))
+	for label := range byLabel {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	out := make([]Figure1Point, 0, len(labels))
+	for _, label := range labels {
+		a := byLabel[label]
 		p := Figure1Point{
 			Scenario:    a.sc,
 			Links:       a.links.Mean(),
@@ -230,7 +240,7 @@ func (r *Results) Figure1(topo Topology) []Figure1Point {
 		}
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].MappedLinks < out[j].MappedLinks })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].MappedLinks < out[j].MappedLinks })
 	return out
 }
 

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricsNamesAnalyzer enforces exposition hygiene on every call to the
+// internal/metrics constructors (Registry.Counter, Gauge, Histogram,
+// GaugeFunc, CounterFunc):
+//
+//   - the series name must be a compile-time constant, or fmt.Sprintf
+//     of a constant format (the labelled-series idiom) — a name built
+//     at runtime cannot be audited or alerted on;
+//   - the family (the part before '{') must be a valid Prometheus
+//     metric identifier;
+//   - counters end in _total; histograms observe base units and end in
+//     _seconds or _bytes; no series uses a scaled-unit suffix such as
+//     _ms or _kb (Prometheus convention: record base units, let the
+//     dashboard scale);
+//   - a constant family is registered at most once per package, so two
+//     call sites cannot fight over one series.
+var MetricsNamesAnalyzer = &Analyzer{
+	Name: "metricsnames",
+	Doc:  "require internal/metrics series names to be constant, valid Prometheus identifiers in base units, registered once",
+	Run:  runMetricsNames,
+}
+
+// metricsConstructors maps the internal/metrics Registry methods to the
+// kind of series they create.
+var metricsConstructors = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+// metricsPkg reports whether path is the instrumented metrics package
+// (or its testdata stand-in).
+func metricsPkg(path string) bool {
+	if path == "repro/internal/metrics" {
+		return true
+	}
+	return strings.HasPrefix(path, fixturePrefix) && strings.HasSuffix(path, "/metricskit")
+}
+
+var validFamily = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// scaledUnitSuffixes are the non-base units the exposition must not
+// use; the value names the base unit to record instead.
+var scaledUnitSuffixes = map[string]string{
+	"_ms": "_seconds", "_millis": "_seconds", "_milliseconds": "_seconds",
+	"_us": "_seconds", "_micros": "_seconds", "_microseconds": "_seconds",
+	"_ns": "_seconds", "_nanos": "_seconds", "_nanoseconds": "_seconds",
+	"_minutes": "_seconds", "_hours": "_seconds",
+	"_kb": "_bytes", "_kilobytes": "_bytes", "_kib": "_bytes",
+	"_mb": "_bytes", "_megabytes": "_bytes", "_mib": "_bytes",
+	"_gb": "_bytes", "_gigabytes": "_bytes", "_gib": "_bytes",
+}
+
+func runMetricsNames(pass *Pass) (interface{}, error) {
+	if !analyzerInScope(pass.Pkg.Path(), "metricsnames", func(string) bool { return true }) {
+		return nil, nil
+	}
+	seen := make(map[string]bool) // constant families registered so far
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !metricsPkg(fn.Pkg().Path()) {
+				return true
+			}
+			kind, ok := metricsConstructors[fn.Name()]
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			arg := call.Args[0]
+			name, exact, ok := metricNameOf(pass, arg)
+			if !ok {
+				pass.Reportf(arg.Pos(),
+					"metric name passed to %s must be a constant string or fmt.Sprintf of a constant format",
+					fn.Name())
+				return true
+			}
+			checkMetricName(pass, arg, fn.Name(), kind, name)
+			if exact {
+				fam := familyOf(name)
+				if seen[fam] {
+					pass.Reportf(arg.Pos(),
+						"metric family %q registered more than once in this package; register once and share the handle",
+						fam)
+				}
+				seen[fam] = true
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// metricNameOf extracts the series name from arg. exact is false when
+// the name came from a Sprintf format and contains verb placeholders.
+func metricNameOf(pass *Pass, arg ast.Expr) (name string, exact, ok bool) {
+	if tv, found := pass.TypesInfo.Types[arg]; found && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true, true
+	}
+	call, isCall := ast.Unparen(arg).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Sprintf" || len(call.Args) == 0 {
+		return "", false, false
+	}
+	tv, found := pass.TypesInfo.Types[call.Args[0]]
+	if !found || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false, false
+	}
+	return constant.StringVal(tv.Value), false, true
+}
+
+var sprintfVerb = regexp.MustCompile(`%[-+# 0-9.]*[a-zA-Z]`)
+
+func checkMetricName(pass *Pass, arg ast.Expr, ctor, kind, name string) {
+	fam := familyOf(name)
+	// Substitute Sprintf verbs with an identifier-safe placeholder so
+	// the charset check applies to the literal parts.
+	famCheck := sprintfVerb.ReplaceAllString(fam, "x")
+	if !validFamily.MatchString(famCheck) {
+		pass.Reportf(arg.Pos(), "metric family %q is not a valid Prometheus identifier", fam)
+		return
+	}
+	for suffix, base := range scaledUnitSuffixes {
+		if strings.HasSuffix(famCheck, suffix) {
+			pass.Reportf(arg.Pos(),
+				"metric %q uses scaled unit %q; record base units and name it *%s", fam, suffix, base)
+			return
+		}
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(famCheck, "_total") {
+			pass.Reportf(arg.Pos(), "counter %q must end in _total (passed to %s)", fam, ctor)
+		}
+	case "histogram":
+		if !strings.HasSuffix(famCheck, "_seconds") && !strings.HasSuffix(famCheck, "_bytes") {
+			pass.Reportf(arg.Pos(),
+				"histogram %q must observe base units and end in _seconds or _bytes", fam)
+		}
+	case "gauge":
+		if strings.HasSuffix(famCheck, "_total") {
+			pass.Reportf(arg.Pos(), "gauge %q must not use the counter suffix _total", fam)
+		}
+	}
+}
+
+// familyOf strips an inline label set: `name{a="b"}` -> `name`.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestMetricsNames(t *testing.T) {
+	analysistest.Run(t, lint.MetricsNamesAnalyzer,
+		"./testdata/src/metricsnames",
+		"./testdata/src/metricsnames/metricskit",
+	)
+}

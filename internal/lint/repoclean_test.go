@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoClean is the regression gate of ISSUE 4: every analyzer runs
+// over the whole module and must report nothing. A new wall-clock read,
+// global rand call, unguarded access, out-of-table sentinel comparison
+// or malformed metric name fails this test before it ever reaches CI's
+// vettool step.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, fset, err := lint.RunDir(wd, lint.Analyzers(), "repro/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s", fset.Position(d.Pos), d.Message)
+	}
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestSentinelHTTP(t *testing.T) {
+	analysistest.Run(t, lint.SentinelHTTPAnalyzer,
+		"./testdata/src/sentinelhttp/sentinels",
+		"./testdata/src/sentinelhttp/flagged",
+		"./testdata/src/sentinelhttp/clean",
+		"./testdata/src/sentinelhttp/notable",
+	)
+}

@@ -1,0 +1,67 @@
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// seededRand draws from an injected generator: methods carry the seed.
+func seededRand(rng *rand.Rand) int {
+	n := rng.Intn(10)
+	rng.Shuffle(n, func(i, j int) {})
+	return n
+}
+
+// newSeeded builds a seeded generator; the constructors are exempt.
+func newSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// annotatedClock is a timing metric; the annotation admits the read.
+func annotatedClock() float64 {
+	start := time.Now()                //hmn:wallclock
+	return time.Since(start).Seconds() //hmn:wallclock
+}
+
+// sortedKeys is the canonical clean shape: collect, sort, then range
+// over the slice.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// orderFree sums the values; iteration order cannot leak.
+func orderFree(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// annotatedOrder carries the escape hatch: the caller vouches that the
+// consumer is order-free.
+func annotatedOrder(m map[string]int, ch chan<- string) {
+	//hmn:orderinvariant
+	for k := range m {
+		ch <- k
+	}
+}
+
+// helperSorted appends in map order but hands the slice to a sorting
+// helper afterwards — the sortByAdmission convention.
+func helperSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }

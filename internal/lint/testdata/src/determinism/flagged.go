@@ -1,0 +1,45 @@
+// Package determinism exercises the determinism analyzer: every line
+// below carrying a want expectation violates the seeded-replay rules.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// globalRand draws from the process-global source.
+func globalRand() int {
+	n := rand.Intn(10)                 // want `rand\.Intn draws from the global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle draws from the global source`
+	return n
+}
+
+// wallClock reads the clock without the annotation.
+func wallClock() float64 {
+	start := time.Now()                // want `time\.Now reads the wall clock`
+	return time.Since(start).Seconds() // want `time\.Since reads the wall clock`
+}
+
+// mapOrderAppend accumulates in iteration order with no sort.
+func mapOrderAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is randomized but the body appends`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mapOrderPrint writes output from inside the loop.
+func mapOrderPrint(m map[string]int) {
+	for k, v := range m { // want `map iteration order is randomized but the body writes output with fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// mapOrderSend emits on a channel in iteration order.
+func mapOrderSend(m map[string]int, ch chan<- string) {
+	for k := range m { // want `map iteration order is randomized but the body sends on a channel`
+		ch <- k
+	}
+}

@@ -1,0 +1,32 @@
+// Package metricsnames exercises the metricsnames analyzer against the
+// metricskit stand-in for internal/metrics.
+package metricsnames
+
+import (
+	"fmt"
+
+	"repro/internal/lint/testdata/src/metricsnames/metricskit"
+)
+
+func register(r *metricskit.Registry, id string, dynamic string) {
+	// Clean registrations: constant names, base units, right suffixes.
+	r.Counter("hmn_admissions_total", "Admissions so far.")
+	r.Gauge("hmn_active_envs", "Deployed environments.")
+	r.Histogram("hmn_map_seconds", "Mapping latency.", nil)
+	r.Histogram("hmn_body_bytes", "Request body size.", nil)
+	r.GaugeFunc("hmn_queue_depth", "Queued tasks.", func() float64 { return 0 })
+
+	// The labelled-series idiom: Sprintf of a constant format.
+	r.Counter(fmt.Sprintf("hmn_session_admissions_total{session=%q}", id), "Per-session admissions.")
+
+	// Violations.
+	r.Counter("hmn-bad-charset", "Dashes are not Prometheus identifiers.")      // want `metric family "hmn-bad-charset" is not a valid Prometheus identifier`
+	r.Counter("hmn_admissions", "Counter without the suffix.")                  // want `counter "hmn_admissions" must end in _total`
+	r.CounterFunc("hmn_conflicts", "Callback counter without the suffix.", nil) // want `counter "hmn_conflicts" must end in _total`
+	r.Gauge("hmn_envs_total", "Gauge wearing the counter suffix.")              // want `gauge "hmn_envs_total" must not use the counter suffix _total`
+	r.Histogram("hmn_map_ms", "Scaled unit.", nil)                              // want `metric "hmn_map_ms" uses scaled unit "_ms"; record base units and name it \*_seconds`
+	r.Histogram("hmn_payload_kb", "Scaled unit.", nil)                          // want `metric "hmn_payload_kb" uses scaled unit "_kb"; record base units and name it \*_bytes`
+	r.Histogram("hmn_queue_wait", "Histogram without a unit.", nil)             // want `histogram "hmn_queue_wait" must observe base units and end in _seconds or _bytes`
+	r.Counter(dynamic, "Runtime-built name.")                                   // want `metric name passed to Counter must be a constant string or fmt\.Sprintf of a constant format`
+	r.Counter("hmn_admissions_total", "Same family again.")                     // want `metric family "hmn_admissions_total" registered more than once in this package`
+}

@@ -1,0 +1,31 @@
+// Package metricskit stands in for internal/metrics under testdata:
+// the metricsnames analyzer treats fixture packages ending in
+// /metricskit as the instrumented constructor package.
+package metricskit
+
+// Counter and Gauge mirror the real series handles.
+type Counter struct{}
+
+// Gauge mirrors the real gauge handle.
+type Gauge struct{}
+
+// Histogram mirrors the real histogram handle.
+type Histogram struct{}
+
+// Registry mirrors the real registry's constructor surface.
+type Registry struct{}
+
+// Counter registers a counter series.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// Gauge registers a gauge series.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// GaugeFunc registers a callback gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {}
+
+// CounterFunc registers a callback counter.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {}
+
+// Histogram registers a histogram series.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram { return &Histogram{} }

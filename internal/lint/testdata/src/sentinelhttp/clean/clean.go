@@ -1,0 +1,29 @@
+// Package clean maps every sentinel in its one table; the analyzer
+// stays silent.
+package clean
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/lint/testdata/src/sentinelhttp/sentinels"
+)
+
+// statusOf is the package's single sentinel→status table.
+//
+//hmn:sentineltable
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, sentinels.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, sentinels.ErrConflict):
+		return http.StatusConflict
+	case errors.Is(err, sentinels.ErrTooBig):
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handle routes every error through the table.
+func handle(err error) int { return statusOf(err) }

@@ -1,0 +1,37 @@
+// Package flagged exercises every sentinelhttp failure mode: a table
+// that misses sentinels, an inline comparison outside it, and a second
+// annotated table.
+package flagged
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/lint/testdata/src/sentinelhttp/sentinels"
+)
+
+// statusOf is the designated table, but it covers only ErrNotFound.
+//
+//hmn:sentineltable
+func statusOf(err error) int { // want `sentinel sentinels\.ErrConflict has no HTTP status` `sentinel sentinels\.ErrTooBig has no HTTP status`
+	if errors.Is(err, sentinels.ErrNotFound) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+// handle compares a sentinel inline instead of routing through the
+// table.
+func handle(err error) int {
+	if errors.Is(err, sentinels.ErrConflict) { // want `sentinel ErrConflict compared outside the //hmn:sentineltable function statusOf`
+		return http.StatusConflict
+	}
+	return statusOf(err)
+}
+
+// secondTable claims to be a table too.
+//
+//hmn:sentineltable
+func secondTable(err error) int { // want `duplicate //hmn:sentineltable`
+	return http.StatusTeapot
+}

@@ -1,0 +1,16 @@
+// Package notable consumes sentinels without declaring a table.
+package notable // want `package maps core/cluster sentinels to HTTP statuses but has no //hmn:sentineltable function`
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/lint/testdata/src/sentinelhttp/sentinels"
+)
+
+func handle(err error) int {
+	if errors.Is(err, sentinels.ErrNotFound) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}

@@ -1,0 +1,19 @@
+// Package sentinels stands in for internal/core and internal/cluster
+// under testdata: the sentinelhttp analyzer treats fixture packages
+// ending in /sentinels as sentinel sources.
+package sentinels
+
+import "errors"
+
+// ErrNotFound marks a missing target.
+var ErrNotFound = errors.New("sentinels: not found")
+
+// ErrConflict marks a state conflict.
+var ErrConflict = errors.New("sentinels: conflict")
+
+// ErrTooBig marks an oversized request.
+var ErrTooBig = errors.New("sentinels: too big")
+
+// ErrLikeButNotError shares the prefix but not the type; the analyzer
+// must ignore it.
+var ErrLikeButNotError = 42

@@ -163,12 +163,12 @@ type family struct {
 // handlers may look series up by name on every request.
 type Registry struct {
 	mu           sync.Mutex
-	families     map[string]family
-	counters     map[string]*Counter
-	gauges       map[string]*Gauge
-	gaugeFuncs   map[string]func() float64
-	counterFuncs map[string]func() float64
-	hists        map[string]*Histogram
+	families     map[string]family         //hmn:guardedby mu
+	counters     map[string]*Counter       //hmn:guardedby mu
+	gauges       map[string]*Gauge         //hmn:guardedby mu
+	gaugeFuncs   map[string]func() float64 //hmn:guardedby mu
+	counterFuncs map[string]func() float64 //hmn:guardedby mu
+	hists        map[string]*Histogram     //hmn:guardedby mu
 }
 
 // NewRegistry returns an empty registry.
@@ -191,6 +191,10 @@ func familyOf(name string) string {
 	return name
 }
 
+// register records name's family, panicking when the family was already
+// registered under a different kind. Callers hold r.mu.
+//
+//hmn:locked mu
 func (r *Registry) register(name, help string, k kind) {
 	fam := familyOf(name)
 	if f, ok := r.families[fam]; ok {

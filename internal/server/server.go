@@ -124,9 +124,9 @@ type session struct {
 	stddev     *metrics.Gauge
 
 	mu      sync.Mutex
-	envs    map[string]*envRecord
-	nextEnv int
-	closed  bool
+	envs    map[string]*envRecord //hmn:guardedby mu
+	nextEnv int                   //hmn:guardedby mu
+	closed  bool                  //hmn:guardedby mu
 }
 
 // Server is the hmnd daemon: session store, admission queue, worker
@@ -137,13 +137,13 @@ type Server struct {
 	mux *http.ServeMux
 
 	admitMu  sync.RWMutex // excludes submit vs Close's queue close
-	draining bool
+	draining bool         //hmn:guardedby admitMu
 	queue    chan *task
 	wg       sync.WaitGroup
 
 	mu          sync.Mutex
-	sessions    map[string]*session
-	nextSession int
+	sessions    map[string]*session //hmn:guardedby mu
+	nextSession int                 //hmn:guardedby mu
 
 	mLatency       *metrics.Histogram
 	mRepairLatency *metrics.Histogram
@@ -728,8 +728,16 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, kind, pat
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// failureStatus maps the submit/operation errors of the fail and restore
+// failureStatus maps the submit/operation errors of the mutating
 // handlers onto HTTP statuses. ok means no error at all.
+//
+// This is the package's single sentinel→status table: every exported
+// core/cluster sentinel gets its status decided here and nowhere else
+// (hmnlint's sentinelhttp analyzer rejects inline comparisons and
+// sentinels this table misses), so the 404/409 contract of PR 2 cannot
+// drift one handler at a time.
+//
+//hmn:sentineltable
 func failureStatus(submitErr, opErr error) (code int, msg string, ok bool) {
 	switch {
 	case errors.Is(submitErr, errOverloaded), errors.Is(submitErr, errDraining):
@@ -740,10 +748,19 @@ func failureStatus(submitErr, opErr error) (code int, msg string, ok bool) {
 	switch {
 	case opErr == nil:
 		return 0, "", true
-	case errors.Is(opErr, core.ErrUnknownTarget):
+	case errors.Is(opErr, core.ErrUnknownTarget), errors.Is(opErr, core.ErrNotActive):
+		// Nothing by that name in this session.
 		return http.StatusNotFound, opErr.Error(), false
 	case errors.Is(opErr, core.ErrAlreadyFailed), errors.Is(opErr, core.ErrNotFailed):
 		return http.StatusConflict, opErr.Error(), false
+	case errors.Is(opErr, core.ErrNoHostFits), errors.Is(opErr, core.ErrNoPath),
+		errors.Is(opErr, core.ErrEmptyPool):
+		// Mapping infeasible against the current residuals: the request
+		// conflicts with testbed state, not with its own syntax.
+		return http.StatusConflict, opErr.Error(), false
+	case errors.Is(opErr, cluster.ErrOverheadExceedsCapacity):
+		// A session/overhead configuration the cluster can never hold.
+		return http.StatusBadRequest, opErr.Error(), false
 	case errors.Is(opErr, context.DeadlineExceeded), errors.Is(opErr, context.Canceled):
 		return http.StatusServiceUnavailable, "request timed out", false
 	default:

@@ -1,0 +1,82 @@
+package spec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSpec drives arbitrary bytes through the strict JSON decoder
+// and, when a spec decodes, through the spec→domain conversion and back:
+// DecodeStrict must reject or accept without panicking, a ClusterSpec or
+// EnvSpec that converts must survive the encode→decode→convert round
+// trip, and conversion errors must stay errors (never panics) no matter
+// how adversarial the input. CI runs this for a short burst on every
+// push; `go test -fuzz=FuzzDecodeSpec ./internal/spec` explores further.
+func FuzzDecodeSpec(f *testing.F) {
+	seeds := []string{
+		// A small valid cluster: two hosts joined through one switch.
+		`{"nodes":3,"hosts":[{"node":0,"name":"h0","proc_mips":1000,"mem_mb":2048,"stor_gb":100},
+		  {"node":2,"proc_mips":500,"mem_mb":1024,"stor_gb":50}],
+		  "links":[{"a":0,"b":1,"bw_mbps":100,"lat_ms":0.5},{"a":1,"b":2,"bw_mbps":100,"lat_ms":0.5}]}`,
+		// A valid environment.
+		`{"guests":[{"name":"g0","proc_mips":100,"mem_mb":256,"stor_gb":1},
+		  {"proc_mips":200,"mem_mb":512,"stor_gb":2}],
+		  "links":[{"from":0,"to":1,"bw_mbps":10,"lat_ms":2}]}`,
+		// A mapping.
+		`{"guest_host":[0,2],"link_paths":[[0,1,2]],"objective":12.5}`,
+		// Strictness triggers: unknown field, wrong type, trailing junk.
+		`{"nodes":3,"hosts":[],"links":[],"extra":true}`,
+		`{"guests":[{"proc_mips":"fast"}]}`,
+		`{"nodes":1}{"nodes":2}`,
+		`{`,
+		``,
+		// Hostile shapes: self-loops, out-of-range endpoints, negatives.
+		`{"nodes":2,"hosts":[{"node":5,"proc_mips":1,"mem_mb":1,"stor_gb":1}],"links":[{"a":0,"b":0}]}`,
+		`{"guests":[{"proc_mips":-1,"mem_mb":-1,"stor_gb":-1}],"links":[{"from":0,"to":9}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cs ClusterSpec
+		if err := DecodeStrict(bytes.NewReader(data), &cs); err == nil && cs.Nodes <= 1<<12 {
+			if c, err := cs.ToCluster(); err == nil {
+				roundTrip(t, FromCluster(c), func(rt ClusterSpec) error {
+					_, err := rt.ToCluster()
+					return err
+				})
+			}
+		}
+		var es EnvSpec
+		if err := DecodeStrict(bytes.NewReader(data), &es); err == nil {
+			if v, err := es.ToEnv(); err == nil {
+				roundTrip(t, FromEnv(v), func(rt EnvSpec) error {
+					_, err := rt.ToEnv()
+					return err
+				})
+			}
+		}
+		// Mappings only decode here: ToMapping needs a live cluster and
+		// environment to resolve paths against.
+		var ms MappingSpec
+		_ = DecodeStrict(bytes.NewReader(data), &ms)
+	})
+}
+
+// roundTrip encodes v, strictly re-decodes it, and re-converts: a spec
+// the package itself produced must always survive its own pipeline.
+func roundTrip[T any](t *testing.T, v T, convert func(T) error) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, v); err != nil {
+		t.Fatalf("encoding round-trip spec: %v", err)
+	}
+	var rt T
+	if err := DecodeStrict(&buf, &rt); err != nil {
+		t.Fatalf("re-decoding own output: %v\n%T %+v", err, v, v)
+	}
+	if err := convert(rt); err != nil {
+		t.Fatalf("re-converting own output: %v\n%+v", err, rt)
+	}
+}
