@@ -1,6 +1,10 @@
 GOPATH_BIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test lint vet fuzz clean
+.PHONY: build test lint vet fuzz clean bench-baselines bench-compare
+
+# Relative drift (percent) bench-compare tolerates on deterministic
+# metrics before failing. Timings never gate.
+BENCH_THRESHOLD ?= 0.5
 
 build:
 	go build ./...
@@ -20,6 +24,25 @@ vet:
 
 fuzz:
 	go test -run '^$$' -fuzz FuzzDecodeSpec -fuzztime 30s ./internal/spec
+
+## bench-baselines regenerates the committed benchmark baselines. Run it
+## when a change legitimately moves the seeded sweep (new scenarios, new
+## heuristics) and commit the result; timing fields update for free.
+bench-baselines:
+	go run ./cmd/hmnbench -quick -reps 3 -json BENCH_quick_seed1.json -table 2 >/dev/null
+	go run ./cmd/hmnbench -scale -heuristics HMN -reps 3 -json BENCH_scale_seed1.json -table 2 >/dev/null
+
+## bench-compare re-runs both committed sweeps and diffs them against
+## BENCH_quick_seed1.json / BENCH_scale_seed1.json: deterministic metrics
+## (run/valid counts, objective statistics) must agree within
+## BENCH_THRESHOLD percent, mapping times are reported as advisory
+## deltas only.
+bench-compare:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	go run ./cmd/hmnbench -quick -reps 3 -json "$$tmp/quick.json" -table 2 >/dev/null && \
+	go run ./cmd/hmnbench -scale -heuristics HMN -reps 3 -json "$$tmp/scale.json" -table 2 >/dev/null && \
+	go run ./cmd/hmncompare -threshold $(BENCH_THRESHOLD) BENCH_quick_seed1.json "$$tmp/quick.json" && \
+	go run ./cmd/hmncompare -threshold $(BENCH_THRESHOLD) BENCH_scale_seed1.json "$$tmp/scale.json"
 
 clean:
 	go clean ./...

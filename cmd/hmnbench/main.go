@@ -38,9 +38,11 @@ func main() {
 		seed         = flag.Int64("seed", 1, "sweep seed")
 		maxTries     = flag.Int("maxtries", 300, "retry budget of the random baselines (paper: 100000)")
 		quick        = flag.Bool("quick", false, "use the reduced scenario matrix")
+		scale        = flag.Bool("scale", false, "use the hot-path scaling matrix (500/1000/2000 guests)")
 		topoFlag     = flag.String("topology", "both", "torus, switched or both")
 		heurFlag     = flag.String("heuristics", "HMN,R,RA,HS", "comma-separated heuristic subset")
 		workers      = flag.Int("workers", 0, "parallel repetitions (0 = GOMAXPROCS)")
+		parallel     = flag.Int("parallel", 0, "worker-pool width for every experiment (alias of -workers; results are identical for any value)")
 		csvPath      = flag.String("csv", "", "also write every run as CSV to this file")
 		jsonPath     = flag.String("json", "", "also write the results matrix and mapping-time percentiles as JSON to this file ('-' = stdout)")
 		gap          = flag.Bool("gap", false, "measure HMN's optimality gap against the exact solver on tiny instances")
@@ -49,17 +51,21 @@ func main() {
 	)
 	flag.Parse()
 
+	if *parallel != 0 {
+		*workers = *parallel
+	}
+
 	if !*all && *table == 0 && *figure == 0 && !*correlation && !*gap && !*reservations {
 		*all = true
 	}
 	if *reservations {
-		fmt.Print(exp.RunReservations(exp.ReservationConfig{Seed: *seed}))
+		fmt.Print(exp.RunReservations(exp.ReservationConfig{Seed: *seed, Workers: *workers}))
 		if !*all && *table == 0 && *figure == 0 && !*correlation && !*gap {
 			return
 		}
 	}
 	if *gap {
-		fmt.Print(exp.RunGap(exp.GapConfig{Instances: *gapN, Seed: *seed}))
+		fmt.Print(exp.RunGap(exp.GapConfig{Instances: *gapN, Seed: *seed, Workers: *workers}))
 		if !*all && *table == 0 && *figure == 0 && !*correlation {
 			return
 		}
@@ -77,6 +83,9 @@ func main() {
 	cfg.Workers = *workers
 	if *quick {
 		cfg.Scenarios = exp.QuickScenarios()
+	}
+	if *scale {
+		cfg.Scenarios = exp.ScaleScenarios()
 	}
 	switch strings.ToLower(*topoFlag) {
 	case "torus":

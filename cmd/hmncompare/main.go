@@ -1,0 +1,56 @@
+// Command hmncompare diffs a fresh hmnbench JSON sweep against a
+// committed BENCH_*.json baseline. Deterministic outputs — run/valid
+// counts and the seeded objective statistics — must agree within the
+// threshold or the command exits non-zero; mapping times are printed as
+// advisory deltas only, since they measure the machine as much as the
+// code.
+//
+// Usage:
+//
+//	hmncompare [-threshold 0.5] baseline.json current.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.5, "maximum relative drift of deterministic metrics, in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: hmncompare [-threshold PCT] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := readDoc(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmncompare: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := readDoc(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmncompare: %v\n", err)
+		os.Exit(2)
+	}
+	rep := exp.CompareDocs(base, cur, *threshold)
+	fmt.Print(rep)
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func readDoc(path string) (exp.JSONDocument, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return exp.JSONDocument{}, err
+	}
+	defer f.Close()
+	doc, err := exp.ReadJSONDocument(f)
+	if err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}

@@ -55,13 +55,14 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 64, "admission queue depth")
+		batch     = flag.Int("batch", 1, "map requests a worker may admit per wakeup as one batched round (1 = no batching)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout (queue wait included)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
-	cfg, err := buildConfig(*workers, *queue, *timeout)
+	cfg, err := buildConfig(*workers, *queue, *batch, *timeout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hmnd: %v\n", err)
 		os.Exit(2)
@@ -73,17 +74,20 @@ func main() {
 }
 
 // buildConfig validates the flag values into a server config.
-func buildConfig(workers, queue int, timeout time.Duration) (server.Config, error) {
+func buildConfig(workers, queue, batch int, timeout time.Duration) (server.Config, error) {
 	if workers < 0 {
 		return server.Config{}, fmt.Errorf("-workers must be >= 0, got %d", workers)
 	}
 	if queue <= 0 {
 		return server.Config{}, fmt.Errorf("-queue must be positive, got %d", queue)
 	}
+	if batch <= 0 {
+		return server.Config{}, fmt.Errorf("-batch must be positive, got %d", batch)
+	}
 	if timeout <= 0 {
 		return server.Config{}, fmt.Errorf("-timeout must be positive, got %v", timeout)
 	}
-	return server.Config{Workers: workers, QueueDepth: queue, RequestTimeout: timeout}, nil
+	return server.Config{Workers: workers, QueueDepth: queue, BatchSize: batch, RequestTimeout: timeout}, nil
 }
 
 // pprofHandler builds the net/http/pprof mux by hand: the package's

@@ -6,26 +6,27 @@ import (
 )
 
 func TestBuildConfig(t *testing.T) {
-	cfg, err := buildConfig(4, 16, 5*time.Second)
+	cfg, err := buildConfig(4, 16, 8, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Workers != 4 || cfg.QueueDepth != 16 || cfg.RequestTimeout != 5*time.Second {
+	if cfg.Workers != 4 || cfg.QueueDepth != 16 || cfg.BatchSize != 8 || cfg.RequestTimeout != 5*time.Second {
 		t.Fatalf("config = %+v", cfg)
 	}
 	// 0 workers means "default" (GOMAXPROCS), resolved by server.New.
-	if _, err := buildConfig(0, 16, time.Second); err != nil {
+	if _, err := buildConfig(0, 16, 1, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	for _, bad := range []struct {
-		workers, queue int
-		timeout        time.Duration
+		workers, queue, batch int
+		timeout               time.Duration
 	}{
-		{-1, 16, time.Second},
-		{4, 0, time.Second},
-		{4, 16, 0},
+		{-1, 16, 1, time.Second},
+		{4, 0, 1, time.Second},
+		{4, 16, 0, time.Second},
+		{4, 16, 1, 0},
 	} {
-		if _, err := buildConfig(bad.workers, bad.queue, bad.timeout); err == nil {
+		if _, err := buildConfig(bad.workers, bad.queue, bad.batch, bad.timeout); err == nil {
 			t.Fatalf("buildConfig(%+v) must error", bad)
 		}
 	}

@@ -117,6 +117,12 @@ func (c *Cluster) hostIdx(node graph.NodeID) int {
 	return i
 }
 
+// HostIdx returns the dense index of the host at node — its position in
+// Hosts() and in every per-host ledger vector — panicking on switches.
+// It is the inverse of HostByIndex(i).Node and what SetProcHook consumers
+// use to translate hook callbacks into graph nodes.
+func (c *Cluster) HostIdx(node graph.NodeID) int { return c.hostIdx(node) }
+
 // HostNodes returns the graph nodes of all hosts, in declaration order.
 func (c *Cluster) HostNodes() []graph.NodeID {
 	out := make([]graph.NodeID, len(c.hosts))

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
 )
@@ -42,8 +43,39 @@ type Ledger struct {
 	quarantined []bool //hmn:guardedby session
 	// per edge ID: carries no new traffic
 	cutEdges []bool //hmn:guardedby session
-	// bumped by CutEdge/RestoreEdge; keys derived caches
+	// moved by CutEdge/RestoreEdge; keys derived caches. Zero is reserved
+	// for the canonical no-cuts topology so restoring the last cut edge
+	// returns to it and re-warms generation-keyed caches.
 	topoGen uint64 //hmn:guardedby session
+	// count of currently cut edges and the monotonic generation allocator
+	// behind topoGen; see CutEdge/RestoreEdge.
+	cutCount int    //hmn:guardedby session
+	genSeq   uint64 //hmn:guardedby session
+
+	// Running Σx and Σx² of the residual-CPU vector (Kahan-compensated),
+	// maintained by every proc mutation so the Eq. (10) objective and the
+	// Migration stage's what-if evaluations are O(1) instead of O(hosts).
+	sumProc   kahanSum //hmn:guardedby session
+	sumProcSq kahanSum //hmn:guardedby session
+
+	// procHook, when set, observes every single-host residual-CPU change
+	// (by dense host index, after the ledger is updated). The Hosting
+	// stage's incremental host order hangs off it. Clones drop the hook:
+	// it closes over state owned by this ledger's consumer.
+	procHook func(host int) //hmn:guardedby session
+}
+
+// kahanSum is a compensated float64 accumulator: it keeps the running
+// Σ of many small deltas within a few ulps of the exact sum, so the
+// incremental objective stays within the 1e-9 band the property tests
+// cross-check against the two-pass stats.PopStdDev recompute.
+type kahanSum struct{ s, c float64 }
+
+func (k *kahanSum) add(x float64) {
+	y := x - k.c
+	t := k.s + y
+	k.c = (t - k.s) - y
+	k.s = t
 }
 
 // NewLedger returns a ledger initialised to each host's capacity minus the
@@ -70,14 +102,91 @@ func NewLedger(c *Cluster, overhead VMMOverhead) (*Ledger, error) {
 	for _, e := range c.net.Edges() {
 		l.bw[e.ID] = e.Bandwidth
 	}
+	for _, p := range l.proc {
+		l.sumProc.add(p)
+		l.sumProcSq.add(p * p)
+	}
 	return l, nil
+}
+
+// applyProc is the single funnel for residual-CPU changes: it shifts the
+// residual of dense host index i by delta, maintains the running Σx/Σx²,
+// and notifies the proc hook. Every proc mutation (ReserveGuest,
+// ReleaseGuest, Txn commit) goes through it so the incremental objective
+// and any attached host order can never drift from the ledger.
+//
+//hmn:locked session
+func (l *Ledger) applyProc(i int, delta float64) {
+	old := l.proc[i]
+	nw := old + delta
+	l.proc[i] = nw
+	l.sumProc.add(delta)
+	l.sumProcSq.add(nw*nw - old*old)
+	if l.procHook != nil {
+		l.procHook(i)
+	}
+}
+
+// SetProcHook installs fn to observe every single-host residual-CPU
+// change, called with the dense host index after the ledger has been
+// updated. Passing nil detaches. At most one hook is active; consumers
+// that attach one (the Hosting stage's incremental host order) must
+// detach it when their mapping attempt ends. Clones never inherit it.
+//
+//hmn:locked session
+func (l *Ledger) SetProcHook(fn func(host int)) { l.procHook = fn }
+
+// ObjectiveStdDev returns the load-balance objective of Eq. (10) — the
+// population standard deviation of the residual-CPU vector — in O(1)
+// from the running sums.
+//
+//hmn:locked session
+func (l *Ledger) ObjectiveStdDev() float64 {
+	return l.stdDevFromSums(l.sumProcSq.s)
+}
+
+// DeltaStdDev returns the change the Eq. (10) objective would undergo if
+// a guest demanding mips CPU moved from the host at origin to the host
+// at dest: negative means the move improves load balance. It is the O(1)
+// what-if behind the Migration stage: Σx is invariant under a move (the
+// origin residual gains exactly what the dest residual loses) and Σx²
+// shifts by 2·mips·(origin−dest) + 2·mips², so no ledger mutation or
+// full recompute is needed per candidate.
+//
+//hmn:locked session
+func (l *Ledger) DeltaStdDev(origin, dest graph.NodeID, mips float64) float64 {
+	po := l.proc[l.c.hostIdx(origin)]
+	pd := l.proc[l.c.hostIdx(dest)]
+	sumSq := l.sumProcSq.s
+	after := sumSq + 2*mips*(po-pd) + 2*mips*mips
+	return l.stdDevFromSums(after) - l.stdDevFromSums(sumSq)
+}
+
+// stdDevFromSums evaluates the population standard deviation from Σx²,
+// using the ledger's running Σx. Negative variances from floating-point
+// cancellation clamp to zero.
+//
+//hmn:locked session
+func (l *Ledger) stdDevFromSums(sumSq float64) float64 {
+	n := float64(len(l.proc))
+	if n == 0 {
+		return 0
+	}
+	mean := l.sumProc.s / n
+	v := sumSq/n - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
 }
 
 // Cluster returns the cluster this ledger accounts for.
 func (l *Ledger) Cluster() *Cluster { return l.c }
 
 // Clone returns an independent copy of the ledger, used for what-if
-// evaluation during the Migration stage and by retrying baselines.
+// evaluation during the Migration stage and by retrying baselines. The
+// proc hook is deliberately not inherited: it closes over structures
+// owned by whoever attached it to the source ledger.
 //
 //hmn:locked session
 func (l *Ledger) Clone() *Ledger {
@@ -90,6 +199,10 @@ func (l *Ledger) Clone() *Ledger {
 		quarantined: append([]bool(nil), l.quarantined...),
 		cutEdges:    append([]bool(nil), l.cutEdges...),
 		topoGen:     l.topoGen,
+		cutCount:    l.cutCount,
+		genSeq:      l.genSeq,
+		sumProc:     l.sumProc,
+		sumProcSq:   l.sumProcSq,
 	}
 }
 
@@ -148,7 +261,7 @@ func (l *Ledger) ReserveGuest(node graph.NodeID, proc float64, mem int64, stor f
 	if l.stor[i] < stor {
 		return fmt.Errorf("cluster: host node %d: storage %.1fGB short of %.1fGB demand", node, l.stor[i], stor)
 	}
-	l.proc[i] -= proc
+	l.applyProc(i, -proc)
 	l.mem[i] -= mem
 	l.stor[i] -= stor
 	return nil
@@ -161,7 +274,7 @@ func (l *Ledger) ReserveGuest(node graph.NodeID, proc float64, mem int64, stor f
 //hmn:locked session
 func (l *Ledger) ReleaseGuest(node graph.NodeID, proc float64, mem int64, stor float64) {
 	i := l.c.hostIdx(node)
-	l.proc[i] += proc
+	l.applyProc(i, proc)
 	l.mem[i] += mem
 	l.stor[i] += stor
 }
@@ -205,12 +318,17 @@ func (l *Ledger) ResidualBandwidth(edgeID int) float64 {
 // bandwidth reads as zero (so every path search routes around it) and
 // ReserveBandwidth refuses paths that cross it. Bandwidth already
 // reserved on it stays accounted until released. Models link failures
-// and maintenance.
+// and maintenance. Cutting an already-cut edge is a no-op.
 //
 //hmn:locked session
 func (l *Ledger) CutEdge(edgeID int) {
+	if l.cutEdges[edgeID] {
+		return
+	}
 	l.cutEdges[edgeID] = true
-	l.topoGen++
+	l.cutCount++
+	l.genSeq++
+	l.topoGen = l.genSeq
 }
 
 // EdgeCut reports whether the edge is currently cut.
@@ -218,28 +336,54 @@ func (l *Ledger) CutEdge(edgeID int) {
 //hmn:locked session
 func (l *Ledger) EdgeCut(edgeID int) bool { return l.cutEdges[edgeID] }
 
-// RestoreEdge readmits a previously cut edge.
+// RestoreEdge readmits a previously cut edge. Restoring an edge that is
+// not cut is a no-op. When the last cut edge is restored the generation
+// returns to the reserved zero value of the no-cuts topology, so caches
+// warmed before the failure become valid again instead of being rebuilt.
 //
 //hmn:locked session
 func (l *Ledger) RestoreEdge(edgeID int) {
+	if !l.cutEdges[edgeID] {
+		return
+	}
 	l.cutEdges[edgeID] = false
-	l.topoGen++
+	l.cutCount--
+	if l.cutCount == 0 {
+		l.topoGen = 0
+		return
+	}
+	l.genSeq++
+	l.topoGen = l.genSeq
 }
 
-// TopoGen returns the ledger's topology generation: a counter bumped by
-// every CutEdge/RestoreEdge. Caches derived from the routable topology —
-// the Networking stage's Dijkstra ar[] tables — key their entries by it,
-// so a link failure or restoration invalidates them without any explicit
-// registration. Clones inherit the generation of their source.
+// TopoGen returns the ledger's topology generation. Generation 0 always
+// means "no edges cut"; every state with at least one cut edge gets a
+// fresh generation from a monotonic allocator, so two distinct cut sets
+// never share one. Caches derived from the routable topology — the
+// Networking stage's Dijkstra ar[] tables — key their entries by it, so
+// a link failure or restoration invalidates them without any explicit
+// registration, and a failure fully healed re-validates the canonical
+// tables. Clones inherit the generation of their source; only the
+// session's live ledger ever moves it (clones never cut edges), so
+// generations from one allocator never alias.
 //
 //hmn:locked session
 func (l *Ledger) TopoGen() uint64 { return l.topoGen }
 
 // BandwidthFunc returns a residual-bandwidth view suitable for the search
-// algorithms in internal/graph. The view reads the live ledger: it
-// reflects reservations made after it was obtained.
+// algorithms in internal/graph. The view reads the live ledger: it closes
+// over the ledger's backing arrays (which are mutated in place, never
+// reallocated), so it reflects reservations made after it was obtained.
+//
+//hmn:locked session
 func (l *Ledger) BandwidthFunc() graph.BandwidthFunc {
-	return func(edgeID int) float64 { return l.ResidualBandwidth(edgeID) }
+	bw, cut := l.bw, l.cutEdges
+	return func(edgeID int) float64 {
+		if cut[edgeID] {
+			return 0
+		}
+		return bw[edgeID]
+	}
 }
 
 // ReserveBandwidth deducts bw Mbps from every edge of path, checking all

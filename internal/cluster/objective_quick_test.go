@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// objectiveTolerance is the acceptance bound of the incremental Eq. (10)
+// objective: the Σ/Σ² accumulators must stay within 1e-9 relative error
+// of the exact two-pass recompute for arbitrarily long update sequences.
+func objectiveTolerance(exact float64) float64 {
+	return 1e-9 * math.Max(1, exact)
+}
+
+// Property: the ledger's running Σ/Σ² objective matches stats.PopStdDev
+// of the residual vector after every operation of a seeded chaos
+// sequence — reservations, releases, migrations (with their O(1)
+// DeltaStdDev what-if verified against the realised change) and clones.
+func TestQuickObjectiveMatchesExact(t *testing.T) {
+	g := graph.New(6)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1000, 5)
+	}
+	hosts := []Host{
+		{Node: 0, Proc: 3000, Mem: 4096, Stor: 500},
+		{Node: 1, Proc: 1500, Mem: 4096, Stor: 500},
+		{Node: 2, Proc: 1000, Mem: 4096, Stor: 500},
+		{Node: 3, Proc: 2500, Mem: 4096, Stor: 500},
+		{Node: 4, Proc: 2000, Mem: 4096, Stor: 500},
+		{Node: 5, Proc: 1200, Mem: 4096, Stor: 500},
+	}
+	c, err := New(g, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(led *Ledger, what string, op int) bool {
+		exact := stats.PopStdDev(led.ResidualProcAll())
+		inc := led.ObjectiveStdDev()
+		if math.Abs(inc-exact) > objectiveTolerance(exact) {
+			t.Logf("op%d %s: incremental %.15g vs exact %.15g", op, what, inc, exact)
+			return false
+		}
+		return true
+	}
+
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		led, err := NewLedger(c, VMMOverhead{})
+		if err != nil {
+			return false
+		}
+
+		// Each placed guest is remembered so it can be released or
+		// migrated later; proc amounts are irregular floats on purpose,
+		// so the accumulators see real cancellation.
+		type res struct {
+			node graph.NodeID
+			proc float64
+		}
+		var placed []res
+		ops := 40 + int(opsRaw)%120
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // place
+				node := hosts[rng.Intn(len(hosts))].Node
+				proc := 1 + rng.Float64()*200
+				if led.ResidualProc(node) < proc {
+					continue
+				}
+				if err := led.ReserveGuest(node, proc, 1, 0.01); err != nil {
+					continue
+				}
+				placed = append(placed, res{node, proc})
+			case 2: // release
+				if len(placed) == 0 {
+					continue
+				}
+				i := rng.Intn(len(placed))
+				led.ReleaseGuest(placed[i].node, placed[i].proc, 1, 0.01)
+				placed = append(placed[:i], placed[i+1:]...)
+			case 3: // migrate, verifying the O(1) what-if first
+				if len(placed) == 0 {
+					continue
+				}
+				i := rng.Intn(len(placed))
+				r := placed[i]
+				dest := hosts[rng.Intn(len(hosts))].Node
+				if dest == r.node || led.ResidualProc(dest) < r.proc {
+					continue
+				}
+				predicted := led.ObjectiveStdDev() + led.DeltaStdDev(r.node, dest, r.proc)
+				led.ReleaseGuest(r.node, r.proc, 1, 0.01)
+				if err := led.ReserveGuest(dest, r.proc, 1, 0.01); err != nil {
+					// Roll the move back; the what-if promised nothing
+					// about feasibility.
+					if err := led.ReserveGuest(r.node, r.proc, 1, 0.01); err != nil {
+						return false
+					}
+					continue
+				}
+				placed[i].node = dest
+				realized := led.ObjectiveStdDev()
+				if math.Abs(predicted-realized) > objectiveTolerance(realized) {
+					t.Logf("op%d migrate: DeltaStdDev predicted %.15g, realized %.15g", op, predicted, realized)
+					return false
+				}
+			}
+			if !check(led, "mutate", op) {
+				return false
+			}
+			// A clone must carry the accumulators, not just the vectors.
+			if op%16 == 7 && !check(led.Clone(), "clone", op) {
+				return false
+			}
+		}
+
+		// Releasing everything must return the accumulators to the primed
+		// baseline along with the vectors.
+		for _, r := range placed {
+			led.ReleaseGuest(r.node, r.proc, 1, 0.01)
+		}
+		return check(led, "teardown", ops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

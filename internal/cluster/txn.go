@@ -114,7 +114,7 @@ func (l *Ledger) Commit(t *Txn) error {
 	}
 	for _, i := range hostIdx {
 		d := t.hosts[i]
-		l.proc[i] -= d.proc
+		l.applyProc(i, -d.proc)
 		l.mem[i] -= d.mem
 		l.stor[i] -= d.stor
 	}

@@ -26,13 +26,23 @@ type arCache struct {
 	mu  sync.Mutex
 	gen uint64                     //hmn:guardedby mu
 	tab map[graph.NodeID][]float64 //hmn:guardedby mu
+	// pristine holds the generation-0 tables. Generation 0 canonically
+	// identifies the cut-free topology (Ledger.TopoGen), which never
+	// changes, so these tables stay valid forever — across failure
+	// epochs in particular. Keeping them out of tab means a
+	// FailLink/RestoreLink round-trip returns to a warm cache instead of
+	// re-running every Dijkstra sweep.
+	pristine map[graph.NodeID][]float64 //hmn:guardedby mu
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
 }
 
 func newARCache() *arCache {
-	return &arCache{tab: make(map[graph.NodeID][]float64)}
+	return &arCache{
+		tab:      make(map[graph.NodeID][]float64),
+		pristine: make(map[graph.NodeID][]float64),
+	}
 }
 
 // lookup returns the cached table towards dest for topology generation
@@ -41,19 +51,28 @@ func newARCache() *arCache {
 func (c *arCache) lookup(gen uint64, dest graph.NodeID) []float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if gen == 0 {
+		return c.pristine[dest]
+	}
 	if c.gen != gen {
 		return nil
 	}
 	return c.tab[dest]
 }
 
-// store records the table towards dest for generation gen. A write from
-// a superseded generation is dropped; a write from a newer generation
-// flushes every older entry first, so the cache only ever mixes tables
-// from a single topology.
+// store records the table towards dest for generation gen. Generation-0
+// tables are kept permanently (see pristine). Nonzero generations are
+// monotonic — each new cut set gets a fresh one — so a write from a
+// superseded generation is dropped and a write from a newer generation
+// flushes every older entry first; the cache only ever mixes tables
+// from a single cut topology.
 func (c *arCache) store(gen uint64, dest graph.NodeID, table []float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if gen == 0 {
+		c.pristine[dest] = table
+		return
+	}
 	if gen < c.gen {
 		return
 	}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestARCacheHitsOnRepeatRouting is the regression test for the AR-table
+// rebuild bug: routing the same topology twice must serve the second
+// admission's latency tables from the cache, and a FailLink/RestoreLink
+// round-trip must return to the warm generation-0 cache instead of
+// re-running every Dijkstra sweep.
+func TestARCacheHitsOnRepeatRouting(t *testing.T) {
+	_, s := sessionFixture(t)
+
+	m1, err := s.Map(smallEnv(11, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.AdmissionStats()
+	if first.ARCacheMisses == 0 {
+		t.Fatal("first admission computed no latency tables at all")
+	}
+	if err := s.Release(m1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The identical environment on the restored residuals routes to the
+	// same destinations: every table lookup must hit, none may rebuild.
+	m2, err := s.Map(smallEnv(11, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := s.AdmissionStats()
+	if second.ARCacheHits <= first.ARCacheHits {
+		t.Fatalf("repeat routing of an unchanged ledger hit the cache %d -> %d times, want an increase",
+			first.ARCacheHits, second.ARCacheHits)
+	}
+	if second.ARCacheMisses != first.ARCacheMisses {
+		t.Fatalf("repeat routing rebuilt tables: misses %d -> %d",
+			first.ARCacheMisses, second.ARCacheMisses)
+	}
+	if err := s.Release(m2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut and restore a physical link with nothing deployed: the
+	// topology generation leaves 0 and comes back to it.
+	if _, err := s.FailLink(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RestoreLink(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The generation-0 tables must have survived the failure epoch.
+	if _, err := s.Map(smallEnv(11, 40)); err != nil {
+		t.Fatal(err)
+	}
+	third := s.AdmissionStats()
+	if third.ARCacheHits <= second.ARCacheHits {
+		t.Fatalf("post-restore routing hit the cache %d -> %d times, want an increase",
+			second.ARCacheHits, third.ARCacheHits)
+	}
+	if third.ARCacheMisses != second.ARCacheMisses {
+		t.Fatalf("FailLink/RestoreLink flushed the pristine tables: misses %d -> %d",
+			second.ARCacheMisses, third.ARCacheMisses)
+	}
+}

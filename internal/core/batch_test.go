@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mapping"
+	"repro/internal/topology"
+	"repro/internal/virtual"
+	"repro/internal/workload"
+)
+
+func TestMapBatchEmpty(t *testing.T) {
+	_, s := sessionFixture(t)
+	maps, errs, bst := s.MapBatch(nil)
+	if len(maps) != 0 || len(errs) != 0 || bst.Committed != 0 || bst.Fallbacks != 0 {
+		t.Fatalf("empty batch produced %v %v %+v", maps, errs, bst)
+	}
+}
+
+func TestMapBatchAdmitsAll(t *testing.T) {
+	_, s := sessionFixture(t)
+	before := s.ResidualProc()
+
+	envs := []*virtual.Env{smallEnv(2, 40), smallEnv(3, 40), smallEnv(4, 40)}
+	maps, errs, bst := s.MapBatch(envs)
+	for i := range envs {
+		if errs[i] != nil {
+			t.Fatalf("env %d rejected: %v", i, errs[i])
+		}
+		if maps[i] == nil {
+			t.Fatalf("env %d has no mapping", i)
+		}
+		if err := maps[i].Validate(cluster.VMMOverhead{}); err != nil {
+			t.Fatalf("env %d mapping invalid: %v", i, err)
+		}
+	}
+	if bst.Committed+bst.Fallbacks != len(envs) {
+		t.Fatalf("stats don't cover the batch: %+v", bst)
+	}
+	if s.Active() != len(envs) {
+		t.Fatalf("Active = %d, want %d", s.Active(), len(envs))
+	}
+
+	// The batch's reservations are exactly the sum of its mappings:
+	// releasing everything restores the initial residuals.
+	for _, m := range maps {
+		if err := s.Release(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := s.ResidualProc()
+	for i := range before {
+		if math.Abs(before[i]-after[i]) > 1e-9 {
+			t.Fatalf("host %d residual CPU not restored: %v vs %v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestMapBatchFallbackResolvesIntraBatchConflict builds a batch whose
+// members all fit the snapshot individually but collide on commit: the
+// losers must be re-mapped serially and still admitted whenever the
+// serialized path would admit them.
+func TestMapBatchFallbackResolvesIntraBatchConflict(t *testing.T) {
+	// Two identical hosts and two identical single-guest environments
+	// whose guest takes more than half of a host's memory: both snapshot
+	// mappings pick the same (first) host, so the second must fall back
+	// and land on the other host.
+	specs := []topology.HostSpec{
+		{Proc: 2000, Mem: 4096, Stor: 100},
+		{Proc: 2000, Mem: 4096, Stor: 100},
+		{Proc: 2000, Mem: 4096, Stor: 100},
+	}
+	c := mustTorus(t, specs, 3, 1)
+	s, err := NewSession(c, cluster.VMMOverhead{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigGuest := func() *virtual.Env {
+		env := virtual.NewEnv()
+		env.AddGuest("g", 100, 3000, 10)
+		return env
+	}
+	envs := []*virtual.Env{bigGuest(), bigGuest(), bigGuest()}
+	maps, errs, bst := s.MapBatch(envs)
+	for i := range envs {
+		if errs[i] != nil {
+			t.Fatalf("env %d rejected: %v (each host holds exactly one)", i, errs[i])
+		}
+	}
+	if bst.Fallbacks == 0 {
+		t.Fatal("identical snapshot placements must have conflicted on commit")
+	}
+	hosts := map[int64]bool{}
+	for _, m := range maps {
+		hosts[int64(m.GuestHost[0])] = true
+	}
+	if len(hosts) != 3 {
+		t.Fatalf("guests share a host: %v", hosts)
+	}
+
+	// A fourth identical environment no host can hold anymore fails
+	// definitively, leaving residuals untouched.
+	before := s.ResidualProc()
+	maps, errs, _ = s.MapBatch([]*virtual.Env{bigGuest()})
+	if errs[0] == nil || maps[0] != nil {
+		t.Fatal("over-capacity batch member must be rejected")
+	}
+	after := s.ResidualProc()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("failed batch admission changed the residuals")
+		}
+	}
+}
+
+// TestMapBatchCommitRace is the -race stress for the batched commit
+// path: concurrent batches, single admissions, releases and failure
+// probes against one session. Correctness here is "no race, no panic,
+// and the ledger balances when everything is released".
+func TestMapBatchCommitRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c := mustTorus(t, specs, 8, 5)
+	s, err := NewSession(c, cluster.VMMOverhead{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.ResidualProc()
+
+	var mu sync.Mutex
+	var admitted []*mapping.Mapping
+	record := func(m *mapping.Mapping) {
+		mu.Lock()
+		admitted = append(admitted, m)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < 3; it++ {
+				seed := int64(100 + w*10 + it)
+				if w%2 == 0 {
+					envs := []*virtual.Env{smallEnv(seed, 20), smallEnv(seed+1000, 20)}
+					maps, errs, _ := s.MapBatch(envs)
+					for i := range maps {
+						if errs[i] == nil {
+							record(maps[i])
+						}
+					}
+				} else {
+					if m, err := s.Map(smallEnv(seed, 20)); err == nil {
+						record(m)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(admitted) == 0 {
+		t.Fatal("nothing admitted under contention")
+	}
+	for _, m := range admitted {
+		if err := s.Release(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := s.ResidualProc()
+	for i := range before {
+		if math.Abs(before[i]-after[i]) > 1e-6 {
+			t.Fatalf("host %d residual CPU not restored after stress: %v vs %v", i, before[i], after[i])
+		}
+	}
+}

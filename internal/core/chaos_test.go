@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/mapping"
+	"repro/internal/stats"
 	"repro/internal/virtual"
 	"repro/internal/workload"
 )
@@ -159,6 +160,7 @@ func chaosRun(t *testing.T, seed int64) string {
 			fmt.Fprintf(&sb, "op%d restorelink %d\n", op, eid)
 		}
 		chaosCheckInvariants(t, op, c, active, failedHosts, cutLinks)
+		chaosCheckObjective(t, op, s)
 	}
 
 	// Teardown: heal the cluster, release every tenant, and require the
@@ -188,6 +190,20 @@ func chaosRun(t *testing.T, seed int64) string {
 		}
 	}
 	return sb.String()
+}
+
+// chaosCheckObjective cross-checks the ledger's incremental Σ/Σ²
+// objective against the exact two-pass recompute after every chaos
+// operation: the accumulators must track place/migrate/fail/repair/
+// release sequences to within 1e-9 relative error, or the O(1) fast
+// path of Eq. (10) has silently diverged from Eq. (10).
+func chaosCheckObjective(t *testing.T, op int, s *Session) {
+	t.Helper()
+	exact := stats.PopStdDev(s.ResidualProc())
+	inc := s.ObjectiveStdDev()
+	if tol := 1e-9 * math.Max(1, exact); math.Abs(inc-exact) > tol {
+		t.Fatalf("op%d: incremental objective %.15g drifted from exact %.15g (> %g)", op, inc, exact, tol)
+	}
 }
 
 // chaosCheckInvariants asserts that every surviving mapping validates

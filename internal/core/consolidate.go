@@ -41,10 +41,12 @@ func (x *Consolidator) Map(c *cluster.Cluster, v *virtual.Env) (*mapping.Mapping
 		return nil, fmt.Errorf("HMN-C: %w", err)
 	}
 	m := mapping.New(c, v)
-	if err := hosting(led, v, m.GuestHost, true); err != nil {
+	hi := newHostIndex(led, true)
+	defer led.SetProcHook(nil)
+	if err := hostingIndexed(led, v, m.GuestHost, hi); err != nil {
 		return nil, fmt.Errorf("HMN-C hosting stage: %w", err)
 	}
-	consolidate(led, v, m.GuestHost, x.MaxPasses)
+	consolidateIndexed(led, v, m.GuestHost, x.MaxPasses, hi)
 	if err := network(led, v, m.GuestHost, m.LinkPath, OrderDescendingBW, x.AStar, nil, nil); err != nil {
 		return nil, fmt.Errorf("HMN-C networking stage: %w", err)
 	}
@@ -59,6 +61,14 @@ func (x *Consolidator) Map(c *cluster.Cluster, v *virtual.Env) (*mapping.Mapping
 // keeps all of them. The sweep repeats until no host can be emptied (or
 // maxPasses is hit). Returns the number of hosts emptied.
 func consolidate(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, maxPasses int) int {
+	return consolidateIndexed(led, v, assign, maxPasses, nil)
+}
+
+// consolidateIndexed is consolidate reusing the Hosting stage's live
+// host index, when one is attached: the ledger hook keeps it consistent
+// through every repack move, and receiver scans walk its deterministic
+// slice instead of ranging a map. hi may be nil (standalone callers).
+func consolidateIndexed(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, maxPasses int, hi *hostIndex) int {
 	c := led.Cluster()
 	onHost := make(map[graph.NodeID][]virtual.GuestID)
 	for g, node := range assign {
@@ -91,7 +101,7 @@ func consolidate(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, max
 
 		movedAny := false
 		for _, donor := range donors {
-			if tryEmptyHost(led, v, assign, onHost, donor, c) {
+			if tryEmptyHost(led, v, assign, onHost, donor, c, hi) {
 				emptied++
 				movedAny = true
 				break // donor set changed; re-rank
@@ -105,8 +115,10 @@ func consolidate(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, max
 
 // tryEmptyHost attempts to move every guest off donor onto other
 // non-empty hosts. The relocation is atomic: on any failure all tentative
-// moves are rolled back.
-func tryEmptyHost(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, onHost map[graph.NodeID][]virtual.GuestID, donor graph.NodeID, c *cluster.Cluster) bool {
+// moves are rolled back. With a live host index the receiver scan walks
+// its slice; the best-fit winner is identical either way because the
+// (slack, node) selection key is a total order.
+func tryEmptyHost(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, onHost map[graph.NodeID][]virtual.GuestID, donor graph.NodeID, c *cluster.Cluster, hi *hostIndex) bool {
 	guests := append([]virtual.GuestID(nil), onHost[donor]...)
 	// Biggest guests first: the standard best-fit-decreasing order.
 	sort.Slice(guests, func(i, j int) bool {
@@ -134,19 +146,28 @@ func tryEmptyHost(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, on
 		guest := v.Guest(gid)
 		// Receivers: other non-empty hosts, tightest fitting memory
 		// first (best fit).
-		var best graph.NodeID = -1
-		var bestSlack int64
-		for node, gs := range onHost {
-			if node == donor || len(gs) == 0 {
-				continue
+		consider := func(node graph.NodeID, best graph.NodeID, bestSlack int64) (graph.NodeID, int64) {
+			if node == donor || len(onHost[node]) == 0 {
+				return best, bestSlack
 			}
 			if !led.Fits(node, guest.Mem, guest.Stor) {
-				continue
+				return best, bestSlack
 			}
 			slack := led.ResidualMem(node) - guest.Mem
 			if best == -1 || slack < bestSlack || (slack == bestSlack && node < best) {
-				best = node
-				bestSlack = slack
+				return node, slack
+			}
+			return best, bestSlack
+		}
+		var best graph.NodeID = -1
+		var bestSlack int64
+		if hi != nil {
+			for _, node := range hi.order {
+				best, bestSlack = consider(node, best, bestSlack)
+			}
+		} else {
+			for node := range onHost {
+				best, bestSlack = consider(node, best, bestSlack)
 			}
 		}
 		if best == -1 {

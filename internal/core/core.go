@@ -115,6 +115,13 @@ type HMN struct {
 	// MaxMigrations caps stage 2's accepted moves; 0 means the natural
 	// termination rule ("while the load balance factor improves").
 	MaxMigrations int
+
+	// ExactObjective makes every Migration what-if recompute the Eq. (10)
+	// objective from scratch (population stddev over all residuals)
+	// instead of using the ledger's O(1) running-sum delta — a debug mode
+	// for cross-checking the incremental objective, cross-validated by
+	// the property tests.
+	ExactObjective bool
 }
 
 // Name implements Mapper.
@@ -148,8 +155,11 @@ func (h *HMN) MapWithStats(c *cluster.Cluster, v *virtual.Env) (*mapping.Mapping
 	}
 	m := mapping.New(c, v)
 
+	hi := newHostIndex(led, !h.DisableHostResort)
+	defer led.SetProcHook(nil)
+
 	t0 := time.Now() //hmn:wallclock
-	if err := hosting(led, v, m.GuestHost, !h.DisableHostResort); err != nil {
+	if err := hostingIndexed(led, v, m.GuestHost, hi); err != nil {
 		st.HostingSeconds = time.Since(t0).Seconds() //hmn:wallclock
 		return nil, st, fmt.Errorf("HMN hosting stage: %w", err)
 	}
@@ -158,7 +168,7 @@ func (h *HMN) MapWithStats(c *cluster.Cluster, v *virtual.Env) (*mapping.Mapping
 	if !h.DisableMigration {
 		t1 := time.Now() //hmn:wallclock
 		st.Migration.ObjectiveBefore = mapping.Objective(led.ResidualProcAll())
-		st.Migration.Moves = migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope)
+		st.Migration.Moves = migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope, hi, h.ExactObjective)
 		st.Migration.ObjectiveAfter = mapping.Objective(led.ResidualProcAll())
 		st.MigrationSeconds = time.Since(t1).Seconds() //hmn:wallclock
 	}
@@ -179,6 +189,16 @@ func (h *HMN) MapWithStats(c *cluster.Cluster, v *virtual.Env) (*mapping.Mapping
 // DFS link search, and for tests that exercise the stage in isolation.
 func HostingStage(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID) error {
 	return hosting(led, v, assign, true)
+}
+
+// MigrationStage runs HMN's Migration stage (§4.2) alone on an existing
+// ledger carrying the reservations behind assign, with the paper's load
+// metric and donor scope. It returns the number of accepted moves, and
+// exists for benchmarks and tests that isolate the stage.
+func MigrationStage(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID) int {
+	hi := newHostIndex(led, true)
+	defer led.SetProcHook(nil)
+	return migrateScoped(led, v, assign, LoadResidualMIPS, 0, ScopeMostLoaded, hi, false)
 }
 
 var _ Mapper = (*HMN)(nil)

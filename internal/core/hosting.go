@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
@@ -10,99 +9,31 @@ import (
 	"repro/internal/virtual"
 )
 
-// hostList maintains the Hosting stage's ordered view of the hosts:
-// descending residual CPU, re-sorted after every placement (§4.1). Ties
-// are broken by node ID so the stage is deterministic.
-type hostList struct {
-	led   *cluster.Ledger
-	nodes []graph.NodeID
-	sort  bool
+// hosting is HMN stage 1 (§4.1) behind a self-contained entry point: it
+// builds its own host index and detaches it before returning. Callers
+// that run later stages on the same ledger (mapOnLedger, Consolidator)
+// use hostingIndexed directly so Migration and consolidation inherit a
+// live index instead of rebuilding one.
+func hosting(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, resort bool) error {
+	hi := newHostIndex(led, resort)
+	defer led.SetProcHook(nil)
+	return hostingIndexed(led, v, assign, hi)
 }
 
-func newHostList(led *cluster.Ledger, resort bool) *hostList {
-	hl := &hostList{led: led, nodes: led.Cluster().HostNodes(), sort: true}
-	hl.resort()
-	hl.sort = resort
-	return hl
-}
-
-// resort re-establishes descending residual-CPU order if enabled.
-func (hl *hostList) resort() {
-	if !hl.sort {
-		return
-	}
-	sort.SliceStable(hl.nodes, func(i, j int) bool {
-		a, b := hl.led.ResidualProc(hl.nodes[i]), hl.led.ResidualProc(hl.nodes[j])
-		if a != b {
-			return a > b
-		}
-		return hl.nodes[i] < hl.nodes[j]
-	})
-}
-
-// place reserves guest g on node and re-sorts.
-func (hl *hostList) place(node graph.NodeID, g virtual.Guest, assign []graph.NodeID) {
-	// Reservation cannot fail: callers check Fits first, and CPU is not
-	// a constraint.
-	if err := hl.led.ReserveGuest(node, g.Proc, g.Mem, g.Stor); err != nil {
-		panic(fmt.Sprintf("core: placement after Fits check failed: %v", err))
-	}
-	assign[g.ID] = node
-	hl.resort()
-}
-
-// firstFit returns the first host in list order that fits g, skipping
-// hosts in the skip set, or false when none does.
-func (hl *hostList) firstFit(g virtual.Guest, skip map[graph.NodeID]bool) (graph.NodeID, bool) {
-	for _, node := range hl.nodes {
-		if skip != nil && skip[node] {
-			continue
-		}
-		if hl.led.Fits(node, g.Mem, g.Stor) {
-			return node, true
-		}
-	}
-	return graph.NodeID(0), false
-}
-
-// firstFitAfter returns the first host that fits g strictly after the
-// position of node `after` in the current list order, or false. This
-// implements §4.1's "the second guest is assigned to the next host which
-// the guest fits in".
-func (hl *hostList) firstFitAfter(g virtual.Guest, after graph.NodeID) (graph.NodeID, bool) {
-	idx := -1
-	for i, node := range hl.nodes {
-		if node == after {
-			idx = i
-			break
-		}
-	}
-	for i := idx + 1; i < len(hl.nodes); i++ {
-		if hl.led.Fits(hl.nodes[i], g.Mem, g.Stor) {
-			return hl.nodes[i], true
-		}
-	}
-	return graph.NodeID(0), false
-}
-
-// hosting is HMN stage 1 (§4.1): a preliminary assignment of guests to
-// hosts that co-locates the endpoints of high-bandwidth virtual links.
-// Virtual links are processed in descending bandwidth order; the host
-// list is kept in descending residual-CPU order (re-sorted after every
-// placement when resort is true). Guests touched by no virtual link are
+// hostingIndexed is HMN stage 1 (§4.1): a preliminary assignment of
+// guests to hosts that co-locates the endpoints of high-bandwidth virtual
+// links. Virtual links are processed in descending bandwidth order; the
+// host index keeps the hosts in descending residual-CPU order across
+// every placement (frozen at the initial order under the
+// DisableHostResort ablation). Guests touched by no virtual link are
 // placed afterwards by the same first-fit rule. assign entries must start
 // as mapping.Unassigned; on success every entry holds a host node and the
 // ledger reflects all reservations.
-func hosting(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, resort bool) error {
-	hl := newHostList(led, resort)
-
+func hostingIndexed(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, hi *hostIndex) error {
 	links := append([]virtual.Link(nil), v.Links()...)
-	sort.SliceStable(links, func(i, j int) bool {
-		if links[i].BW != links[j].BW {
-			return links[i].BW > links[j].BW
-		}
-		return links[i].ID < links[j].ID
-	})
+	// (BW desc, ID asc) is a strict total order, so the packed-key sort
+	// yields the same permutation the seed's stable sort did.
+	sortLinksByBW(links, true)
 
 	for _, link := range links {
 		a, b := v.Guest(link.From), v.Guest(link.To)
@@ -114,12 +45,12 @@ func hosting(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, resort 
 
 		case !aDone && !bDone:
 			// Try the first host for both guests together.
-			if node, ok := hl.firstFit(both(a, b), nil); ok {
-				// place re-sorts between the two reservations, but both
+			if node, ok := hi.firstFit(both(a, b), nil); ok {
+				// The index moves between the two reservations, but both
 				// target the explicit node, so the order change is
 				// harmless.
-				hl.place(node, a, assign)
-				hl.place(node, b, assign)
+				hi.place(node, a, assign)
+				hi.place(node, b, assign)
 				continue
 			}
 			// Split: the most CPU-intensive guest goes to the first host
@@ -128,16 +59,16 @@ func hosting(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, resort 
 			if second.Proc > first.Proc {
 				first, second = second, first
 			}
-			n1, ok := hl.firstFit(first, nil)
+			n1, ok := hi.firstFit(first, nil)
 			if !ok {
 				return fmt.Errorf("%w: guest %q (%dMB/%gGB)", ErrNoHostFits, first.Name, first.Mem, first.Stor)
 			}
-			n2, ok := hl.firstFitAfter(second, n1)
+			n2, ok := hi.firstFitAfter(second, n1)
 			if !ok {
 				return fmt.Errorf("%w: guest %q (%dMB/%gGB)", ErrNoHostFits, second.Name, second.Mem, second.Stor)
 			}
-			hl.place(n1, first, assign)
-			hl.place(n2, second, assign)
+			hi.place(n1, first, assign)
+			hi.place(n2, second, assign)
 
 		default:
 			// Exactly one endpoint assigned: pull the other to the same
@@ -149,12 +80,12 @@ func hosting(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, resort 
 			target := assign[placed.ID]
 			if !led.Fits(target, missing.Mem, missing.Stor) {
 				var ok bool
-				target, ok = hl.firstFit(missing, nil)
+				target, ok = hi.firstFit(missing, nil)
 				if !ok {
 					return fmt.Errorf("%w: guest %q (%dMB/%gGB)", ErrNoHostFits, missing.Name, missing.Mem, missing.Stor)
 				}
 			}
-			hl.place(target, missing, assign)
+			hi.place(target, missing, assign)
 		}
 	}
 
@@ -163,11 +94,11 @@ func hosting(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, resort 
 		if assign[g.ID] != mapping.Unassigned {
 			continue
 		}
-		node, ok := hl.firstFit(g, nil)
+		node, ok := hi.firstFit(g, nil)
 		if !ok {
 			return fmt.Errorf("%w: guest %q (%dMB/%gGB)", ErrNoHostFits, g.Name, g.Mem, g.Stor)
 		}
-		hl.place(node, g, assign)
+		hi.place(node, g, assign)
 	}
 	return nil
 }

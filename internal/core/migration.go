@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
@@ -43,12 +43,24 @@ const (
 // The function mutates assign and the ledger in place. It cannot fail:
 // a migration either strictly improves the objective or is not performed.
 func migrate(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric LoadMetric, maxMoves int) int {
-	return migrateScoped(led, v, assign, metric, maxMoves, ScopeMostLoaded)
+	return migrateScoped(led, v, assign, metric, maxMoves, ScopeMostLoaded, nil, false)
 }
 
 // migrateScoped is migrate with a selectable donor scope (see
-// MigrationScope).
-func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric LoadMetric, maxMoves int, scope MigrationScope) int {
+// MigrationScope), an optional live host index from the Hosting stage
+// (hi may be nil), and an exact-objective debug mode.
+//
+// The Eq. (10) objective is evaluated from the ledger's running Σx/Σx²:
+// each what-if is a single DeltaStdDev call — O(1), no ledger mutation —
+// instead of the seed's release/reserve/full-recompute/undo dance (O(H)
+// per candidate, O(H²) per round). With exact set, every what-if
+// recomputes the population stddev from scratch; the property tests
+// cross-check both modes against each other.
+//
+// Under the paper's LoadResidualMIPS metric, "ascending load" is exactly
+// the host index's (residual desc, node asc) order, so a live tracking
+// index replaces the per-attempt destination sort outright.
+func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric LoadMetric, maxMoves int, scope MigrationScope, hi *hostIndex, exact bool) int {
 	c := led.Cluster()
 	hosts := c.HostNodes()
 	if len(hosts) < 2 {
@@ -77,7 +89,35 @@ func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, m
 	}
 
 	objective := func() float64 {
-		return stats.PopStdDev(led.ResidualProcAll())
+		if exact {
+			//hmn:exactobjective
+			return stats.PopStdDev(led.ResidualProcAll())
+		}
+		return led.ObjectiveStdDev()
+	}
+
+	// destinations returns the candidate hosts in ascending load order.
+	// With a live index under the residual-MIPS metric that order already
+	// exists; otherwise it is built per attempt. Exact mode keeps the
+	// per-attempt copy: its what-ifs mutate the ledger, which would
+	// reorder a live index mid-iteration.
+	liveIndex := hi != nil && hi.track && metric != LoadUtilization && !exact
+	destinations := func() []graph.NodeID {
+		if liveIndex {
+			return hi.order
+		}
+		cand := append([]graph.NodeID(nil), hosts...)
+		slices.SortFunc(cand, func(a, b graph.NodeID) int {
+			la, lb := load(a), load(b)
+			if la != lb {
+				if la < lb {
+					return -1
+				}
+				return 1
+			}
+			return int(a) - int(b)
+		})
+		return cand
 	}
 
 	// tryMoveFrom attempts the paper's move from one donor host: pick the
@@ -96,40 +136,45 @@ func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, m
 		}
 		guest := v.Guest(victim)
 
-		// Destinations: least loaded first.
-		cand := append([]graph.NodeID(nil), hosts...)
-		sort.SliceStable(cand, func(i, j int) bool {
-			a, b := load(cand[i]), load(cand[j])
-			if a != b {
-				return a < b
-			}
-			return cand[i] < cand[j]
-		})
-
-		for _, dest := range cand {
+		for _, dest := range destinations() {
 			if dest == origin {
 				continue
 			}
 			if !led.Fits(dest, guest.Mem, guest.Stor) {
 				continue
 			}
-			// What-if objective: only origin and dest residuals change.
-			led.ReleaseGuest(origin, guest.Proc, guest.Mem, guest.Stor)
-			if err := led.ReserveGuest(dest, guest.Proc, guest.Mem, guest.Stor); err != nil {
-				// Fits was checked; only a racing mutation could land
-				// here. Restore and skip.
-				mustReserve(led, origin, guest)
-				continue
+			improves := false
+			if exact {
+				// What-if by mutation: only origin and dest residuals
+				// change, recompute the objective in full, undo unless it
+				// improved.
+				led.ReleaseGuest(origin, guest.Proc, guest.Mem, guest.Stor)
+				if err := led.ReserveGuest(dest, guest.Proc, guest.Mem, guest.Stor); err != nil {
+					// Fits was checked; only a racing mutation could land
+					// here. Restore and skip.
+					mustReserve(led, origin, guest)
+					continue
+				}
+				if objective() < current {
+					improves = true
+				} else {
+					led.ReleaseGuest(dest, guest.Proc, guest.Mem, guest.Stor)
+					mustReserve(led, origin, guest)
+				}
+			} else if led.DeltaStdDev(origin, dest, guest.Proc) < 0 {
+				led.ReleaseGuest(origin, guest.Proc, guest.Mem, guest.Stor)
+				if err := led.ReserveGuest(dest, guest.Proc, guest.Mem, guest.Stor); err != nil {
+					mustReserve(led, origin, guest)
+					continue
+				}
+				improves = true
 			}
-			if after := objective(); after < current {
+			if improves {
 				assign[victim] = dest
 				onHost[origin] = removeGuest(onHost[origin], victim)
 				onHost[dest] = append(onHost[dest], victim)
 				return true
 			}
-			// No improvement: undo.
-			led.ReleaseGuest(dest, guest.Proc, guest.Mem, guest.Stor)
-			mustReserve(led, origin, guest)
 		}
 		return false
 	}
@@ -154,12 +199,15 @@ func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, m
 		if len(donors) == 0 {
 			return moves
 		}
-		sort.SliceStable(donors, func(i, j int) bool {
-			a, b := load(donors[i]), load(donors[j])
-			if a != b {
-				return a > b
+		slices.SortFunc(donors, func(a, b graph.NodeID) int {
+			la, lb := load(a), load(b)
+			if la != lb {
+				if la > lb {
+					return -1
+				}
+				return 1
 			}
-			return donors[i] < donors[j]
+			return int(a) - int(b)
 		})
 		if scope == ScopeMostLoaded {
 			donors = donors[:1]

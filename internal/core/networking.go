@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -51,14 +50,13 @@ func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, path
 	for i, id := range linkIDs {
 		links[i] = v.Link(id)
 	}
+	// (BW, ID) is a strict total order, so the packed-key sorts produce
+	// the permutations the seed's stable sorts did — minus the struct
+	// comparator and swap machinery the profiles showed dominating the
+	// stage's fixed costs at 2000 guests.
 	switch order {
 	case OrderAscendingBW:
-		sort.SliceStable(links, func(i, j int) bool {
-			if links[i].BW != links[j].BW {
-				return links[i].BW < links[j].BW
-			}
-			return links[i].ID < links[j].ID
-		})
+		sortLinksByBW(links, false)
 	case OrderRandom:
 		r := rng
 		if r == nil {
@@ -66,12 +64,7 @@ func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, path
 		}
 		r.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
 	default: // OrderDescendingBW — the paper's order
-		sort.SliceStable(links, func(i, j int) bool {
-			if links[i].BW != links[j].BW {
-				return links[i].BW > links[j].BW
-			}
-			return links[i].ID < links[j].ID
-		})
+		sortLinksByBW(links, true)
 	}
 
 	// The Dijkstra ar[] tables only depend on the topology, never on the
@@ -87,8 +80,21 @@ func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, path
 			return ar
 		}
 		// Only reachable if assign changed after precompute — keep a
-		// correct fallback anyway.
-		ar := graph.DijkstraLatency(net, dest)
+		// correct fallback anyway, and let it consult and feed the
+		// session cache like the precompute sweep does.
+		var ar []float64
+		if arc != nil {
+			gen := led.TopoGen()
+			if ar = arc.lookup(gen, dest); ar != nil {
+				arc.hits.Add(1)
+			} else {
+				arc.misses.Add(1)
+				ar = graph.DijkstraLatencyAvoiding(net, dest, led.EdgeCut)
+				arc.store(gen, dest, ar)
+			}
+		} else {
+			ar = graph.DijkstraLatency(net, dest)
+		}
 		tables[dest] = ar
 		return ar
 	}

@@ -87,13 +87,17 @@ type sessionMapper interface {
 	rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, arc *arCache) error
 }
 
-// mapOnLedger runs the three HMN stages against an existing ledger.
+// mapOnLedger runs the three HMN stages against an existing ledger. One
+// host index serves Hosting and Migration; its ledger hook is detached
+// before returning so the ledger outlives the attempt hook-free.
 func (h *HMN) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache) error {
-	if err := hosting(led, v, m.GuestHost, !h.DisableHostResort); err != nil {
+	hi := newHostIndex(led, !h.DisableHostResort)
+	defer led.SetProcHook(nil)
+	if err := hostingIndexed(led, v, m.GuestHost, hi); err != nil {
 		return fmt.Errorf("HMN hosting stage: %w", err)
 	}
 	if !h.DisableMigration {
-		migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope)
+		migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope, hi, h.ExactObjective)
 	}
 	if err := network(led, v, m.GuestHost, m.LinkPath, h.NetworkOrder, h.AStar, h.Rand, arc); err != nil {
 		return fmt.Errorf("HMN networking stage: %w", err)
@@ -109,10 +113,12 @@ func (h *HMN) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []grap
 // mapOnLedger runs Hosting, consolidation and Networking against an
 // existing ledger.
 func (x *Consolidator) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache) error {
-	if err := hosting(led, v, m.GuestHost, true); err != nil {
+	hi := newHostIndex(led, true)
+	defer led.SetProcHook(nil)
+	if err := hostingIndexed(led, v, m.GuestHost, hi); err != nil {
 		return fmt.Errorf("HMN-C hosting stage: %w", err)
 	}
-	consolidate(led, v, m.GuestHost, x.MaxPasses)
+	consolidateIndexed(led, v, m.GuestHost, x.MaxPasses, hi)
 	if err := network(led, v, m.GuestHost, m.LinkPath, OrderDescendingBW, x.AStar, nil, arc); err != nil {
 		return fmt.Errorf("HMN-C networking stage: %w", err)
 	}
@@ -169,6 +175,15 @@ func (s *Session) ResidualProc() []float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.led.ResidualProcAll()
+}
+
+// ObjectiveStdDev returns the live Eq. (10) objective — the population
+// standard deviation of residual CPU across hosts — from the ledger's
+// incremental Σ/Σ² accumulators, in O(1).
+func (s *Session) ObjectiveStdDev() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.led.ObjectiveStdDev()
 }
 
 // AdmitStats reports how one Map call was admitted.

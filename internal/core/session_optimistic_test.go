@@ -222,8 +222,9 @@ func TestSessionConcurrentNoSpuriousRejection(t *testing.T) {
 }
 
 // TestSessionARCacheInvalidation checks that repeated admissions reuse
-// the cached Dijkstra tables and that FailLink/RestoreLink invalidate
-// them via the topology generation.
+// the cached Dijkstra tables, that FailLink invalidates them via the
+// topology generation, and that RestoreLink returns to the permanently
+// warm generation-0 tables.
 func TestSessionARCacheInvalidation(t *testing.T) {
 	c, s := sessionFixture(t)
 	v := smallEnv(42, 24)
@@ -277,6 +278,9 @@ func TestSessionARCacheInvalidation(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Restoring the link returns the topology to generation 0, whose
+	// tables survive failure epochs permanently: the next admission must
+	// hit the pristine cache, not rebuild it.
 	if err := s.RestoreLink(failed); err != nil {
 		t.Fatal(err)
 	}
@@ -285,8 +289,11 @@ func TestSessionARCacheInvalidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	st3 := s.AdmissionStats()
-	if st3.ARCacheMisses <= st2.ARCacheMisses {
-		t.Fatalf("post-RestoreLink admission served stale tables: misses %d -> %d", st2.ARCacheMisses, st3.ARCacheMisses)
+	if st3.ARCacheMisses != st2.ARCacheMisses {
+		t.Fatalf("post-RestoreLink admission rebuilt pristine tables: misses %d -> %d", st2.ARCacheMisses, st3.ARCacheMisses)
+	}
+	if st3.ARCacheHits <= st2.ARCacheHits {
+		t.Fatalf("post-RestoreLink admission recorded no cache hits: %d -> %d", st2.ARCacheHits, st3.ARCacheHits)
 	}
 	if err := m.Validate(cluster.VMMOverhead{}); err != nil {
 		t.Fatalf("mapping after restore invalid: %v", err)

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file diffs two sweep JSON documents (a committed BENCH_*.json
+// baseline against a fresh run) for `make bench-compare` and the CI
+// bench-smoke job. Deterministic outputs — run/valid counts and the
+// objective statistics, which depend only on the seed — must agree
+// within a tight threshold; wall-clock mapping times are reported but
+// never gate, because they measure the machine as much as the code.
+
+// ReadJSONDocument decodes one sweep document, as written by
+// Results.WriteJSON.
+func ReadJSONDocument(r io.Reader) (JSONDocument, error) {
+	var doc JSONDocument
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return doc, err
+	}
+	return doc, nil
+}
+
+// CompareReport is the outcome of comparing a fresh sweep against a
+// committed baseline.
+type CompareReport struct {
+	// Problems are the gating drifts: configuration mismatches, missing
+	// or extra series, and deterministic metrics that moved by more than
+	// the threshold. Empty means the comparison passed.
+	Problems []string
+	// Timing lines one advisory mapping-time delta per series.
+	Timing []string
+}
+
+// OK reports whether the comparison found no gating drift.
+func (r CompareReport) OK() bool { return len(r.Problems) == 0 }
+
+// String renders the report for humans: timing deltas first (always),
+// then either the problem list or a pass line.
+func (r CompareReport) String() string {
+	var b strings.Builder
+	for _, l := range r.Timing {
+		fmt.Fprintln(&b, l)
+	}
+	if r.OK() {
+		fmt.Fprintln(&b, "bench-compare: deterministic metrics match the baseline")
+	} else {
+		for _, p := range r.Problems {
+			fmt.Fprintf(&b, "DRIFT: %s\n", p)
+		}
+	}
+	return b.String()
+}
+
+// relDeltaPct is the relative drift of cur against base in percent, with
+// an exact-zero baseline treated as drift only when cur differs.
+func relDeltaPct(base, cur float64) float64 {
+	if base == cur {
+		return 0
+	}
+	if base == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(cur-base) / math.Abs(base) * 100
+}
+
+// CompareDocs diffs cur against base. Run/valid counts must be equal and
+// the objective mean/stddev of every series must agree within
+// thresholdPct percent; the sweep configuration (hosts, reps, seed, max
+// tries, topology and heuristic sets) must match exactly, because two
+// different sweeps are not comparable at all.
+func CompareDocs(base, cur JSONDocument, thresholdPct float64) CompareReport {
+	var rep CompareReport
+	problem := func(format string, args ...interface{}) {
+		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
+	}
+
+	if base.Hosts != cur.Hosts || base.Reps != cur.Reps || base.Seed != cur.Seed || base.MaxTries != cur.MaxTries {
+		problem("sweep configuration differs: baseline hosts=%d reps=%d seed=%d maxtries=%d, current hosts=%d reps=%d seed=%d maxtries=%d",
+			base.Hosts, base.Reps, base.Seed, base.MaxTries, cur.Hosts, cur.Reps, cur.Seed, cur.MaxTries)
+		return rep
+	}
+	if strings.Join(base.Topologies, ",") != strings.Join(cur.Topologies, ",") ||
+		strings.Join(base.Heuristics, ",") != strings.Join(cur.Heuristics, ",") {
+		problem("sweep matrix differs: baseline %v/%v, current %v/%v",
+			base.Topologies, base.Heuristics, cur.Topologies, cur.Heuristics)
+		return rep
+	}
+
+	key := func(s JSONSeries) string { return s.Topology + " / " + s.Heuristic }
+	curBy := make(map[string]JSONSeries, len(cur.Series))
+	for _, s := range cur.Series {
+		curBy[key(s)] = s
+	}
+	seen := make(map[string]bool, len(base.Series))
+	for _, bs := range base.Series {
+		k := key(bs)
+		seen[k] = true
+		cs, ok := curBy[k]
+		if !ok {
+			problem("series %s present in the baseline but missing from the current run", k)
+			continue
+		}
+		if bs.Runs != cs.Runs || bs.Valid != cs.Valid {
+			problem("series %s: runs/valid %d/%d -> %d/%d (deterministic counts must not move)",
+				k, bs.Runs, bs.Valid, cs.Runs, cs.Valid)
+		}
+		if d := relDeltaPct(bs.ObjectiveMean, cs.ObjectiveMean); d > thresholdPct {
+			problem("series %s: objective mean %.6g -> %.6g (%.3f%% > %.3f%%)",
+				k, bs.ObjectiveMean, cs.ObjectiveMean, d, thresholdPct)
+		}
+		if d := relDeltaPct(bs.ObjectiveStd, cs.ObjectiveStd); d > thresholdPct {
+			problem("series %s: objective stddev %.6g -> %.6g (%.3f%% > %.3f%%)",
+				k, bs.ObjectiveStd, cs.ObjectiveStd, d, thresholdPct)
+		}
+		if bs.MapSecondsMean > 0 {
+			rep.Timing = append(rep.Timing, fmt.Sprintf(
+				"timing (advisory): %s map_seconds mean %.4fs -> %.4fs (%+.1f%%), p99 %.4fs -> %.4fs",
+				k, bs.MapSecondsMean, cs.MapSecondsMean,
+				(cs.MapSecondsMean-bs.MapSecondsMean)/bs.MapSecondsMean*100,
+				bs.MapSecondsP99, cs.MapSecondsP99))
+		}
+	}
+	var extra []string
+	for k := range curBy {
+		if !seen[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		problem("series %s present in the current run but missing from the baseline", k)
+	}
+	return rep
+}

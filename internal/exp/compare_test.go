@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sweepDoc runs the small sweep and round-trips it through the JSON
+// encoding, as bench-compare consumes it.
+func sweepDoc(t *testing.T) JSONDocument {
+	t.Helper()
+	res := RunSweep(smallConfig())
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ReadJSONDocument(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestCompareDocsSelfIsClean(t *testing.T) {
+	doc := sweepDoc(t)
+	rep := CompareDocs(doc, doc, 0.5)
+	if !rep.OK() {
+		t.Fatalf("self-comparison drifted: %v", rep.Problems)
+	}
+	if !strings.Contains(rep.String(), "metrics match") {
+		t.Fatalf("pass report missing pass line:\n%s", rep)
+	}
+}
+
+func TestCompareDocsFlagsDrift(t *testing.T) {
+	base := sweepDoc(t)
+	cur := sweepDoc(t)
+
+	// Objective drift beyond the threshold gates.
+	cur.Series[0].ObjectiveMean *= 1.02
+	rep := CompareDocs(base, cur, 0.5)
+	if rep.OK() {
+		t.Fatal("2% objective drift passed a 0.5% threshold")
+	}
+	if CompareDocs(base, cur, 5).OK() != true {
+		t.Fatal("2% objective drift failed a 5% threshold")
+	}
+
+	// Valid-count changes always gate.
+	cur = sweepDoc(t)
+	cur.Series[0].Valid--
+	if CompareDocs(base, cur, 100).OK() {
+		t.Fatal("valid-count change passed")
+	}
+
+	// Mapping-time changes never gate, only inform.
+	cur = sweepDoc(t)
+	cur.Series[0].MapSecondsMean *= 10
+	rep = CompareDocs(base, cur, 0.5)
+	if !rep.OK() {
+		t.Fatalf("timing-only change gated: %v", rep.Problems)
+	}
+	if len(rep.Timing) == 0 {
+		t.Fatal("timing deltas missing from the report")
+	}
+
+	// Different sweep configurations are incomparable.
+	cur = sweepDoc(t)
+	cur.Seed++
+	if CompareDocs(base, cur, 100).OK() {
+		t.Fatal("seed mismatch passed")
+	}
+
+	// A missing series gates.
+	cur = sweepDoc(t)
+	cur.Series = cur.Series[1:]
+	if CompareDocs(base, cur, 100).OK() {
+		t.Fatal("missing series passed")
+	}
+}

@@ -25,6 +25,10 @@ type GapConfig struct {
 	Hosts     int   // default 5
 	Guests    int   // default 8
 	Seed      int64 // default 1
+	// Workers bounds concurrent instances; 0 means GOMAXPROCS. Any value
+	// produces the same result: instances are seeded by index and merged
+	// in index order.
+	Workers int
 }
 
 // GapResult aggregates the experiment.
@@ -101,79 +105,137 @@ func RunGap(cfg GapConfig) GapResult {
 		cfg.Seed = 1
 	}
 
-	var out GapResult
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for i := 0; i < cfg.Instances; i++ {
-		specs := workload.GenerateHosts(workload.ClusterParams{
-			Hosts:   cfg.Hosts,
-			ProcMin: 1000, ProcMax: 3000,
-			MemMin: 1024, MemMax: 3072,
-			StorMin: 1000, StorMax: 3000,
-		}, rng)
-		c, err := topology.Ring(specs, workload.PhysLinkBW, workload.PhysLinkLat)
-		if err != nil {
-			panic(err) // Hosts >= 3 enforced by defaults
-		}
-		env := workload.GenerateEnv(workload.VirtualParams{
-			Guests:  cfg.Guests,
-			Density: 0.3,
-			ProcMin: 100, ProcMax: 400,
-			MemMin: 256, MemMax: 1024,
-			StorMin: 100, StorMax: 400,
-			BWMin: 0.5, BWMax: 2,
-			LatMin: 20, LatMax: 60,
-		}, rng)
+	// Instances run across the worker pool; each derives its generator
+	// stream from (Seed, index) alone and fills only its own slot, and the
+	// slots are folded into the aggregate in index order afterwards, so
+	// the result is the same for any worker count.
+	outcomes := make([]gapOutcome, cfg.Instances)
+	forEachIndexed(cfg.Instances, cfg.Workers, func(i int) {
+		outcomes[i] = gapInstance(cfg, i)
+	})
 
-		res, exErr := exact.Solve(c, env, exact.Options{})
-		m, hmnErr := (&core.HMN{}).Map(c, env)
-		switch {
-		case exErr != nil && hmnErr != nil:
+	var out GapResult
+	for _, oc := range outcomes {
+		switch oc.kind {
+		case gapInfeasible:
 			out.Infeasible++
-		case exErr == nil && hmnErr != nil:
+		case gapMissed:
 			out.HMNMissed++
-		case exErr == nil && hmnErr == nil:
+		default:
 			out.Instances++
-			hmnObj := m.Objective(cluster.VMMOverhead{})
-			ratio := 1.0
-			if res.Objective > 0 {
-				ratio = hmnObj / res.Objective
-			}
-			out.Ratios = append(out.Ratios, ratio)
-			out.AbsGaps = append(out.AbsGaps, hmnObj-res.Objective)
-			out.Optima = append(out.Optima, res.Objective)
-			if hmnObj <= res.Objective+1e-9 {
+			out.Ratios = append(out.Ratios, oc.ratio)
+			out.AbsGaps = append(out.AbsGaps, oc.absGap)
+			out.Optima = append(out.Optima, oc.optimum)
+			if oc.optimal {
 				out.Optimal++
 			}
-			// The memetic GA on the same instance.
-			if mg, err := (&ga.Mapper{Rand: rand.New(rand.NewSource(cfg.Seed + int64(i)))}).Map(c, env); err == nil {
-				gaObj := mg.Objective(cluster.VMMOverhead{})
-				r := 1.0
-				if res.Objective > 0 {
-					r = gaObj / res.Objective
-				}
-				out.RatiosGA = append(out.RatiosGA, r)
-				if gaObj <= res.Objective+1e-9 {
+			if oc.gaOK {
+				out.RatiosGA = append(out.RatiosGA, oc.gaRatio)
+				if oc.gaOptimal {
 					out.OptimalGA++
 				}
 			}
-			// The widened-migration variant on the same instance.
-			if mp, err := (&core.HMN{Scope: core.ScopeAllHosts}).Map(c, env); err == nil {
-				plusObj := mp.Objective(cluster.VMMOverhead{})
-				ratioPlus := 1.0
-				if res.Objective > 0 {
-					ratioPlus = plusObj / res.Objective
-				}
-				out.RatiosPlus = append(out.RatiosPlus, ratioPlus)
-				if plusObj <= res.Objective+1e-9 {
+			if oc.plusOK {
+				out.RatiosPlus = append(out.RatiosPlus, oc.plusRatio)
+				if oc.plusOptimal {
 					out.OptimalPlus++
 				}
 			}
-		default:
-			// HMN found a mapping where the exact solver failed: only
-			// possible on a budget trip, which tiny instances never hit.
-			panic("exp: exact solver failed where HMN succeeded: " + exErr.Error())
 		}
 	}
 	sort.Float64s(out.Ratios)
 	return out
+}
+
+// gapOutcome is one instance's contribution to a GapResult.
+type gapOutcome struct {
+	kind    int // gapSolved / gapInfeasible / gapMissed
+	ratio   float64
+	absGap  float64
+	optimum float64
+	optimal bool
+
+	gaOK, gaOptimal     bool
+	gaRatio             float64
+	plusOK, plusOptimal bool
+	plusRatio           float64
+}
+
+const (
+	gapSolved = iota
+	gapInfeasible
+	gapMissed
+)
+
+// gapStream tags the gap experiment's seed derivations so its instances
+// share no stream with any other experiment family.
+const gapStream = 0x6A70
+
+// gapInstance draws and solves one tiny instance. Everything random is
+// derived from (cfg.Seed, i), never from a stream shared across
+// instances, so instances are independent of execution order.
+func gapInstance(cfg GapConfig, i int) gapOutcome {
+	rng := rand.New(rand.NewSource(deriveSeed(cfg.Seed, gapStream, int64(i))))
+	specs := workload.GenerateHosts(workload.ClusterParams{
+		Hosts:   cfg.Hosts,
+		ProcMin: 1000, ProcMax: 3000,
+		MemMin: 1024, MemMax: 3072,
+		StorMin: 1000, StorMax: 3000,
+	}, rng)
+	c, err := topology.Ring(specs, workload.PhysLinkBW, workload.PhysLinkLat)
+	if err != nil {
+		panic(err) // Hosts >= 3 enforced by defaults
+	}
+	env := workload.GenerateEnv(workload.VirtualParams{
+		Guests:  cfg.Guests,
+		Density: 0.3,
+		ProcMin: 100, ProcMax: 400,
+		MemMin: 256, MemMax: 1024,
+		StorMin: 100, StorMax: 400,
+		BWMin: 0.5, BWMax: 2,
+		LatMin: 20, LatMax: 60,
+	}, rng)
+
+	res, exErr := exact.Solve(c, env, exact.Options{})
+	m, hmnErr := (&core.HMN{}).Map(c, env)
+	switch {
+	case exErr != nil && hmnErr != nil:
+		return gapOutcome{kind: gapInfeasible}
+	case exErr == nil && hmnErr != nil:
+		return gapOutcome{kind: gapMissed}
+	case exErr == nil && hmnErr == nil:
+		oc := gapOutcome{kind: gapSolved, optimum: res.Objective}
+		hmnObj := m.Objective(cluster.VMMOverhead{})
+		oc.ratio = 1.0
+		if res.Objective > 0 {
+			oc.ratio = hmnObj / res.Objective
+		}
+		oc.absGap = hmnObj - res.Objective
+		oc.optimal = hmnObj <= res.Objective+1e-9
+		// The memetic GA on the same instance.
+		if mg, err := (&ga.Mapper{Rand: rand.New(rand.NewSource(cfg.Seed + int64(i)))}).Map(c, env); err == nil {
+			gaObj := mg.Objective(cluster.VMMOverhead{})
+			oc.gaOK = true
+			oc.gaRatio = 1.0
+			if res.Objective > 0 {
+				oc.gaRatio = gaObj / res.Objective
+			}
+			oc.gaOptimal = gaObj <= res.Objective+1e-9
+		}
+		// The widened-migration variant on the same instance.
+		if mp, err := (&core.HMN{Scope: core.ScopeAllHosts}).Map(c, env); err == nil {
+			plusObj := mp.Objective(cluster.VMMOverhead{})
+			oc.plusOK = true
+			oc.plusRatio = 1.0
+			if res.Objective > 0 {
+				oc.plusRatio = plusObj / res.Objective
+			}
+			oc.plusOptimal = plusObj <= res.Objective+1e-9
+		}
+		return oc
+	default:
+		// HMN found a mapping where the exact solver failed: only
+		// possible on a budget trip, which tiny instances never hit.
+		panic("exp: exact solver failed where HMN succeeded: " + exErr.Error())
+	}
 }

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachIndexed runs fn(i) for every i in [0, n) across a bounded worker
+// pool; workers <= 0 means GOMAXPROCS. It returns once every call has
+// finished.
+//
+// This is the replication harness's one concurrency primitive, and the
+// contract that keeps parallel sweeps byte-identical to serial ones: fn
+// must derive any randomness from the index (deriveSeed of the master
+// seed and i, never a stream shared across indices) and must write its
+// outcome only to the i-th slot of a caller-owned slice. Merging then
+// happens in index order on the caller's goroutine after the pool
+// drains, so neither the worker count nor the scheduling order can leak
+// into results.
+func forEachIndexed(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -25,6 +25,10 @@ type ReservationConfig struct {
 	Hosts     int   // default 40
 	Guests    int   // default 200
 	Seed      int64 // default 1
+	// Workers bounds concurrent instances; 0 means GOMAXPROCS. Any value
+	// produces the same result: instances are seeded by index and merged
+	// in index order.
+	Workers int
 }
 
 // ReservationResult aggregates the ablation.
@@ -72,46 +76,30 @@ func RunReservations(cfg ReservationConfig) ReservationResult {
 		cfg.Seed = 1
 	}
 
+	// Instances run across the worker pool; each derives its generator
+	// stream from (Seed, index) alone and fills only its own slot, and
+	// the slots fold into the aggregate in index order afterwards, so
+	// the result is the same for any worker count.
+	outcomes := make([]resOutcome, cfg.Instances)
+	forEachIndexed(cfg.Instances, cfg.Workers, func(i int) {
+		outcomes[i] = reservationInstance(cfg, i)
+	})
+
 	var hmnRes, hmnBE, raRes, raBE, hmnFlows, raFlows []float64
 	hmnRatio, raRatio := math.Inf(1), math.Inf(1)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for i := 0; i < cfg.Instances; i++ {
-		specs := workload.GenerateHosts(clusterParams(cfg.Hosts), rng)
-		c, err := buildCluster(specs, Torus)
-		if err != nil {
-			panic(err)
+	for _, oc := range outcomes {
+		if oc.hmnOK {
+			hmnRes = append(hmnRes, oc.hmn.reserved)
+			hmnBE = append(hmnBE, oc.hmn.bestEffort)
+			hmnFlows = append(hmnFlows, oc.hmn.flows)
+			hmnRatio = min(hmnRatio, oc.hmn.worst)
 		}
-		env := workload.GenerateEnv(workload.HighLevelParams(cfg.Guests, 0.02), rng)
-
-		measure := func(mapper core.Mapper, res, be, flows *[]float64, worst *float64) {
-			m, err := mapper.Map(c, env)
-			if err != nil {
-				return
-			}
-			cfgR := sim.ExperimentConfig{BaseSeconds: 0.001, TransferSeconds: 1}
-			cfgB := cfgR
-			cfgB.Network = sim.BestEffort
-			*res = append(*res, sim.RunExperiment(m, cfgR).TransferMakespan)
-			*be = append(*be, sim.RunExperiment(m, cfgB).TransferMakespan)
-			*flows = append(*flows, float64(m.Summarize(cfgR.Overhead).InterHostLinks))
-			// Fair-share fidelity certificate.
-			fl := make([]sim.Flow, env.NumLinks())
-			for _, link := range env.Links() {
-				fl[link.ID] = sim.Flow{Path: m.LinkPath[link.ID], Data: 1}
-			}
-			rates := sim.FlowRates(c.Net(), c.Net().NominalBandwidth(), fl)
-			for _, link := range env.Links() {
-				if link.BW <= 0 {
-					continue
-				}
-				if ratio := rates[link.ID] / link.BW; ratio < *worst {
-					*worst = ratio
-				}
-			}
+		if oc.raOK {
+			raRes = append(raRes, oc.ra.reserved)
+			raBE = append(raBE, oc.ra.bestEffort)
+			raFlows = append(raFlows, oc.ra.flows)
+			raRatio = min(raRatio, oc.ra.worst)
 		}
-		measure(&core.HMN{}, &hmnRes, &hmnBE, &hmnFlows, &hmnRatio)
-		measure(&baseline.Random{UseAStar: true, Rand: rand.New(rand.NewSource(cfg.Seed + int64(i))), MaxTries: 300},
-			&raRes, &raBE, &raFlows, &raRatio)
 	}
 	return ReservationResult{
 		Instances:       cfg.Instances,
@@ -124,4 +112,68 @@ func RunReservations(cfg ReservationConfig) ReservationResult {
 		HMNMinRateRatio: hmnRatio,
 		RAMinRateRatio:  raRatio,
 	}
+}
+
+// resMeasure is one mapper's metrics on one instance.
+type resMeasure struct {
+	reserved, bestEffort, flows, worst float64
+}
+
+// resOutcome is one instance's contribution to a ReservationResult.
+type resOutcome struct {
+	hmnOK, raOK bool
+	hmn, ra     resMeasure
+}
+
+// resStream tags the reservation ablation's seed derivations so its
+// instances share no stream with any other experiment family.
+const resStream = 0x4E57
+
+// reservationInstance draws one torus instance and measures both mappers
+// on it. Everything random is derived from (cfg.Seed, i), never from a
+// stream shared across instances.
+func reservationInstance(cfg ReservationConfig, i int) resOutcome {
+	rng := rand.New(rand.NewSource(deriveSeed(cfg.Seed, resStream, int64(i))))
+	specs := workload.GenerateHosts(clusterParams(cfg.Hosts), rng)
+	c, err := buildCluster(specs, Torus)
+	if err != nil {
+		panic(err)
+	}
+	env := workload.GenerateEnv(workload.HighLevelParams(cfg.Guests, 0.02), rng)
+
+	measure := func(mapper core.Mapper) (resMeasure, bool) {
+		m, err := mapper.Map(c, env)
+		if err != nil {
+			return resMeasure{}, false
+		}
+		cfgR := sim.ExperimentConfig{BaseSeconds: 0.001, TransferSeconds: 1}
+		cfgB := cfgR
+		cfgB.Network = sim.BestEffort
+		out := resMeasure{
+			reserved:   sim.RunExperiment(m, cfgR).TransferMakespan,
+			bestEffort: sim.RunExperiment(m, cfgB).TransferMakespan,
+			flows:      float64(m.Summarize(cfgR.Overhead).InterHostLinks),
+			worst:      math.Inf(1),
+		}
+		// Fair-share fidelity certificate.
+		fl := make([]sim.Flow, env.NumLinks())
+		for _, link := range env.Links() {
+			fl[link.ID] = sim.Flow{Path: m.LinkPath[link.ID], Data: 1}
+		}
+		rates := sim.FlowRates(c.Net(), c.Net().NominalBandwidth(), fl)
+		for _, link := range env.Links() {
+			if link.BW <= 0 {
+				continue
+			}
+			out.worst = min(out.worst, rates[link.ID]/link.BW)
+		}
+		return out, true
+	}
+
+	var oc resOutcome
+	oc.hmn, oc.hmnOK = measure(&core.HMN{})
+	oc.ra, oc.raOK = measure(&baseline.Random{
+		UseAStar: true, Rand: rand.New(rand.NewSource(cfg.Seed + int64(i))), MaxTries: 300,
+	})
+	return oc
 }

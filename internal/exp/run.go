@@ -3,9 +3,7 @@ package exp
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/baseline"
@@ -121,39 +119,27 @@ func RunSweep(cfg Config) *Results {
 	if cfg.Experiment.BaseSeconds == 0 && cfg.Experiment.TransferSeconds == 0 {
 		cfg.Experiment = DefaultConfig().Experiment
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
+	// One replication job per (scenario, rep); each writes only its own
+	// slot and seeds every stream from its coordinates, so any worker
+	// count yields the same outcome set (see forEachIndexed).
 	type job struct {
 		scenario int
 		rep      int
 	}
-	jobs := make(chan job)
-	var mu sync.Mutex
-	var runs []Run
-	var wg sync.WaitGroup
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				rs := runOne(cfg, j.scenario, j.rep)
-				mu.Lock()
-				runs = append(runs, rs...)
-				mu.Unlock()
-			}
-		}()
-	}
+	jobs := make([]job, 0, len(cfg.Scenarios)*cfg.Reps)
 	for si := range cfg.Scenarios {
 		for rep := 0; rep < cfg.Reps; rep++ {
-			jobs <- job{si, rep}
+			jobs = append(jobs, job{si, rep})
 		}
 	}
-	close(jobs)
-	wg.Wait()
+	slots := make([][]Run, len(jobs))
+	forEachIndexed(len(jobs), cfg.Workers, func(i int) {
+		slots[i] = runOne(cfg, jobs[i].scenario, jobs[i].rep)
+	})
+	var runs []Run
+	for _, rs := range slots {
+		runs = append(runs, rs...)
+	}
 
 	// Deterministic order regardless of scheduling.
 	sort.Slice(runs, func(i, j int) bool {

@@ -107,3 +107,16 @@ func QuickScenarios() []Scenario {
 		{Ratio: 50, Density: 0.01, Class: LowLevel},
 	}
 }
+
+// ScaleScenarios returns the hot-path scaling matrix: low-level workloads
+// of 500, 1000 and 2000 guests on the paper's 40-host cluster (ratios
+// 12.5, 25 and 50 at the paper's low-level density). This is the matrix
+// the committed BENCH_scale_*.json baselines pin, so mapping-time
+// regressions past the paper's own ratios are visible in review.
+func ScaleScenarios() []Scenario {
+	return []Scenario{
+		{Ratio: 12.5, Density: 0.01, Class: LowLevel},
+		{Ratio: 25, Density: 0.01, Class: LowLevel},
+		{Ratio: 50, Density: 0.01, Class: LowLevel},
+	}
+}

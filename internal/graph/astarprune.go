@@ -221,7 +221,18 @@ func AStarPrune(g *Graph, origin, dest NodeID, bandwidth, latency float64, resid
 			if best.contains(h) {
 				continue // Eq. 7: no loops
 			}
-			if residual(eid) < bandwidth {
+			if h != dest && len(g.Incident(h)) == 1 {
+				// Dead end: h's only edge is the one we would arrive by, so
+				// no simple path can continue through it. Leaf hosts hanging
+				// off a switch are the common case — on switched, cascaded
+				// and fat-tree fabrics this skips most of the frontier
+				// before the residual-bandwidth lookup even runs. The
+				// returned path is unaffected: it could never visit such a
+				// node.
+				continue
+			}
+			r := residual(eid)
+			if r < bandwidth {
 				continue // Eq. 9: not enough spare bandwidth
 			}
 			accLat := best.accLat + e.Latency
@@ -229,7 +240,7 @@ func AStarPrune(g *Graph, origin, dest NodeID, bandwidth, latency float64, resid
 				continue // admissibility: cannot reach dest within budget
 			}
 			bn := best.bottleneck
-			if r := residual(eid); r < bn {
+			if r < bn {
 				bn = r
 			}
 			if dominance && !sc.dom[h].insert(bn, accLat, sc.epoch) {

@@ -22,6 +22,14 @@ import (
 //     Sorting the collected keys first — and ranging over the sorted
 //     slice — avoids the report; a loop whose effect is genuinely
 //     order-free carries //hmn:orderinvariant.
+//
+// In the mapping hot path (internal/core) it additionally flags
+// stats.PopStdDev calls inside loops or closures: the ledger maintains
+// the Eq. (10) objective incrementally (Ledger.ObjectiveStdDev,
+// Ledger.DeltaStdDev, both O(1)), so an O(hosts) recompute per
+// migration or consolidation candidate is a quadratic regression
+// waiting to happen. The deliberate exact recompute of the debug
+// cross-check carries //hmn:exactobjective.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc: "flag unseeded randomness, wall-clock reads and map-order dependent " +
@@ -68,10 +76,18 @@ var globalRandFuncs = map[string]bool{
 	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
 }
 
+// exactObjectivePkgs are the packages with access to the ledger's O(1)
+// incremental objective, where a repeated exact recompute is a perf bug
+// rather than a choice.
+var exactObjectivePkgs = map[string]bool{
+	"repro/internal/core": true,
+}
+
 func runDeterminism(pass *Pass) (interface{}, error) {
 	if !analyzerInScope(pass.Pkg.Path(), "determinism", func(p string) bool { return deterministicPkgs[p] }) {
 		return nil, nil
 	}
+	hotPath := analyzerInScope(pass.Pkg.Path(), "determinism", func(p string) bool { return exactObjectivePkgs[p] })
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -82,8 +98,56 @@ func runDeterminism(pass *Pass) (interface{}, error) {
 			}
 			return true
 		})
+		if hotPath {
+			checkExactObjective(pass, file)
+		}
 	}
 	return nil, nil
+}
+
+// checkExactObjective flags stats.PopStdDev calls that sit inside a
+// loop or a closure (migration and consolidation evaluate candidates
+// through closures called per attempt): each such call recomputes the
+// Eq. (10) objective in O(hosts) where Ledger.ObjectiveStdDev and
+// Ledger.DeltaStdDev are O(1). The debug cross-check's deliberate
+// recompute is admitted by //hmn:exactobjective.
+func checkExactObjective(pass *Pass, file *ast.File) {
+	var spans [][2]token.Pos
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			spans = append(spans, [2]token.Pos{n.Pos(), n.End()})
+		}
+		return true
+	})
+	inSpan := func(pos token.Pos) bool {
+		for _, s := range spans {
+			if s[0] <= pos && pos <= s[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "repro/internal/stats" || fn.Name() != "PopStdDev" {
+			return true
+		}
+		if !inSpan(call.Pos()) {
+			return true
+		}
+		if _, ok := pass.annotated(file, call.Pos(), dirExactObjective); ok {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"stats.PopStdDev recomputes the Eq. (10) objective in O(hosts) inside a loop or closure; "+
+				"use Ledger.ObjectiveStdDev/DeltaStdDev, or annotate a deliberate exact recompute with //hmn:exactobjective")
+		return true
+	})
 }
 
 func checkDeterministicCall(pass *Pass, file *ast.File, call *ast.CallExpr) {

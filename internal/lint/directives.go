@@ -13,6 +13,7 @@ import (
 //	//hmn:guardedby <mutex>         struct field guarded by the named mutex
 //	//hmn:locked <mutex>            function requires the caller to hold <mutex>
 //	//hmn:sentineltable             the package's one sentinel→HTTP-status table
+//	//hmn:exactobjective            deliberate O(H) Eq. (10) recompute (debug path)
 //
 // A directive written on its own line annotates the line below it; a
 // trailing directive annotates its own line. <mutex> is either a sibling
@@ -24,6 +25,7 @@ const (
 	dirGuardedBy      = "guardedby"
 	dirLocked         = "locked"
 	dirSentinelTable  = "sentineltable"
+	dirExactObjective = "exactobjective"
 )
 
 // directive is one parsed //hmn: comment.

@@ -72,6 +72,12 @@ type Config struct {
 	// QueueDepth bounds the admission queue; a full queue rejects with
 	// 503. Defaults to 64.
 	QueueDepth int
+	// BatchSize lets a worker drain up to this many queued map requests
+	// for the same session in one wakeup and admit them as one
+	// core.Session.MapBatch round: one snapshot, concurrent off-lock
+	// mapping, one locked commit pass. 1 (and 0) disables batching;
+	// per-request admission outcomes are unchanged either way.
+	BatchSize int
 	// RequestTimeout bounds each request end to end (queue wait
 	// included). Defaults to 30s.
 	RequestTimeout time.Duration
@@ -85,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
@@ -102,11 +111,32 @@ var errOverloaded = errors.New("server: admission queue full")
 var errDraining = errors.New("server: draining")
 
 // task is one unit of queued work. run executes on a worker; the
-// submitter waits on done (or its context).
+// submitter waits on done (or its context). Map-environment tasks also
+// carry an mj descriptor so a worker can coalesce several of them into
+// one batched admission; for those, run is the single-request execution
+// the worker uses when it does not batch.
 type task struct {
 	ctx  context.Context
 	run  func()
 	done chan struct{}
+	mj   *mapJob
+}
+
+// mapJob is the batchable description of one queued map request. The
+// callbacks run on the worker goroutine; exactly one of finish or cancel
+// is called per job.
+type mapJob struct {
+	sess *session
+	env  *virtual.Env
+	ctx  context.Context
+	// begin counts the attempt, right before mapping starts.
+	begin func()
+	// finish performs the request's bookkeeping (outcome counters,
+	// environment registration, response rendering).
+	finish func(m *mapping.Mapping, err error)
+	// cancel completes a request whose client gave up in the queue,
+	// without counting an attempt.
+	cancel func(err error)
 }
 
 // envRecord is one deployed environment inside a session.
@@ -154,6 +184,8 @@ type Server struct {
 	mConflicts     *metrics.Counter
 	mFallbacks     *metrics.Counter
 	mOptimistic    *metrics.Counter
+	mBatches       *metrics.Counter
+	mBatchedEnvs   *metrics.Counter
 }
 
 // New builds a server and starts its worker pool.
@@ -178,6 +210,10 @@ func New(cfg Config) *Server {
 			"Admissions that exhausted optimistic retries and ran serialized."),
 		mOptimistic: reg.Counter("hmnd_admit_optimistic_total",
 			"Admissions committed optimistically (mapping ran with no lock held)."),
+		mBatches: reg.Counter("hmnd_map_batches_total",
+			"Batched admission rounds (two or more map requests admitted per wakeup)."),
+		mBatchedEnvs: reg.Counter("hmnd_map_batched_envs_total",
+			"Map requests admitted through batched rounds."),
 		mQueue: reg.Gauge("hmnd_queue_depth",
 			"Requests waiting in the admission queue."),
 		mEnvs: reg.Gauge("hmnd_active_envs",
@@ -259,12 +295,92 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// worker drains the admission queue until Close.
+// worker drains the admission queue until Close. With BatchSize > 1, a
+// wakeup that pops a map task keeps draining the queue — without
+// blocking — for more map tasks on the same session, up to BatchSize,
+// and admits the group as one core.Session.MapBatch round. The first
+// task of any other kind stops the drain and runs after the batch; the
+// queue never reorders beyond that one overtake, and an idle queue
+// batches nothing (a lone request is admitted exactly as before).
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for t := range s.queue {
 		s.mQueue.Set(float64(len(s.queue)))
-		t.run()
+		if t.mj == nil || s.cfg.BatchSize <= 1 {
+			t.run()
+			close(t.done)
+			continue
+		}
+		batch := []*task{t}
+		var deferred *task
+	drain:
+		for len(batch) < s.cfg.BatchSize {
+			select {
+			case t2, ok := <-s.queue:
+				if !ok {
+					break drain
+				}
+				if t2.mj != nil && t2.mj.sess == t.mj.sess {
+					batch = append(batch, t2)
+				} else {
+					deferred = t2
+					break drain
+				}
+			default:
+				break drain
+			}
+		}
+		s.mQueue.Set(float64(len(s.queue)))
+		s.runMapBatch(batch)
+		if deferred != nil {
+			deferred.run()
+			close(deferred.done)
+		}
+	}
+}
+
+// runMapBatch admits a group of same-session map tasks in one batched
+// round and finishes each request. Tasks whose client already gave up
+// are completed without mapping, like the single-request path does; a
+// group that shrinks to one request takes the ordinary path.
+func (s *Server) runMapBatch(batch []*task) {
+	var live []*task
+	for _, t := range batch {
+		if err := t.mj.ctx.Err(); err != nil {
+			t.mj.cancel(err)
+			close(t.done)
+			continue
+		}
+		live = append(live, t)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if len(live) == 1 {
+		live[0].run()
+		close(live[0].done)
+		return
+	}
+
+	sess := live[0].mj.sess
+	envs := make([]*virtual.Env, len(live))
+	for i, t := range live {
+		envs[i] = t.mj.env
+		t.mj.begin()
+	}
+	t0 := time.Now()
+	maps, errs, bst := sess.core.MapBatch(envs)
+	dur := time.Since(t0).Seconds()
+	s.mBatches.Inc()
+	s.mBatchedEnvs.Add(uint64(len(live)))
+	s.mOptimistic.Add(uint64(bst.Committed))
+	s.mFallbacks.Add(uint64(bst.Fallbacks))
+	// The batch held the lock once for everyone; attribute the lock time
+	// to the round, and the round's wall time to each attempt it served.
+	s.mCommitLatency.Observe(bst.CommitSeconds)
+	for i, t := range live {
+		s.mLatency.Observe(dur)
+		t.mj.finish(maps[i], errs[i])
 		close(t.done)
 	}
 }
@@ -274,7 +390,16 @@ func (s *Server) worker() {
 // context error if ctx expires while the task waits (the task itself
 // checks ctx and becomes a no-op, or rolls back, when it finally runs).
 func (s *Server) submit(ctx context.Context, fn func()) error {
-	t := &task{ctx: ctx, run: fn, done: make(chan struct{})}
+	return s.enqueue(&task{ctx: ctx, run: fn, done: make(chan struct{})})
+}
+
+// submitMap queues a map request that workers may coalesce into a
+// batched admission round; run is its single-request execution.
+func (s *Server) submitMap(mj *mapJob, run func()) error {
+	return s.enqueue(&task{ctx: mj.ctx, run: run, done: make(chan struct{}), mj: mj})
+}
+
+func (s *Server) enqueue(t *task) error {
 	s.admitMu.RLock()
 	if s.draining {
 		s.admitMu.RUnlock()
@@ -291,8 +416,8 @@ func (s *Server) submit(ctx context.Context, fn func()) error {
 	select {
 	case <-t.done:
 		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	case <-t.ctx.Done():
+		return t.ctx.Err()
 	}
 }
 
@@ -420,23 +545,13 @@ func (s *Server) handleMapEnv(w http.ResponseWriter, r *http.Request) {
 		resp   MapEnvResponse
 		mapErr error
 	)
-	submitErr := s.submit(ctx, func() {
-		if ctx.Err() != nil {
-			// The client gave up while we sat in the queue: do no work.
-			mapErr = ctx.Err()
-			return
-		}
-		attempted.Inc()
-		t0 := time.Now()
-		m, admit, err := sess.core.MapWithStats(env)
-		s.mLatency.Observe(time.Since(t0).Seconds())
-		s.mCommitLatency.Observe(admit.CommitSeconds)
-		s.mConflicts.Add(uint64(admit.Conflicts))
-		if admit.Fallback {
-			s.mFallbacks.Inc()
-		} else {
-			s.mOptimistic.Inc()
-		}
+	mj := &mapJob{sess: sess, env: env, ctx: ctx}
+	mj.begin = func() { attempted.Inc() }
+	mj.cancel = func(err error) {
+		// The client gave up while we sat in the queue: do no work.
+		mapErr = err
+	}
+	mj.finish = func(m *mapping.Mapping, err error) {
 		if err != nil {
 			failed.Inc()
 			mapErr = err
@@ -479,6 +594,24 @@ func (s *Server) handleMapEnv(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
+	}
+	submitErr := s.submitMap(mj, func() {
+		if err := ctx.Err(); err != nil {
+			mj.cancel(err)
+			return
+		}
+		mj.begin()
+		t0 := time.Now()
+		m, admit, err := sess.core.MapWithStats(env)
+		s.mLatency.Observe(time.Since(t0).Seconds())
+		s.mCommitLatency.Observe(admit.CommitSeconds)
+		s.mConflicts.Add(uint64(admit.Conflicts))
+		if admit.Fallback {
+			s.mFallbacks.Inc()
+		} else {
+			s.mOptimistic.Inc()
+		}
+		mj.finish(m, err)
 	})
 	switch {
 	case errors.Is(submitErr, errOverloaded), errors.Is(submitErr, errDraining):

@@ -526,3 +526,94 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached within 5s")
 }
+
+// TestBatchedAdmission forces a real batched round: one worker is pinned
+// on a blocker task while several map requests for the same session queue
+// up behind it, so the wakeup that follows must drain them into a single
+// core.Session.MapBatch call. Every request still gets its own correct
+// response, and the batch metrics record exactly one round.
+func TestBatchedAdmission(t *testing.T) {
+	c, cs := testbed(t)
+	srv, ts := startServer(t, Config{Workers: 1, QueueDepth: 32, BatchSize: 8})
+	client := ts.Client()
+	sid := openSession(t, client, ts.URL, cs, "")
+
+	// Pin the worker so the map requests pile up in the queue.
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	go srv.submit(context.Background(), func() {
+		close(blocked)
+		<-release
+	})
+	<-blocked
+
+	const n = 5
+	envs := make([]*virtual.Env, n)
+	for i := range envs {
+		envs[i] = smallEnv(int64(300+i), 12)
+	}
+	results := make([]int, n)
+	specs := make([]spec.MappingSpec, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, raw, _ := doJSON(t, client, "POST", ts.URL+"/v1/sessions/"+sid+"/envs",
+				MapEnvRequest{Env: spec.FromEnv(envs[i])})
+			results[i] = code
+			if code == http.StatusOK {
+				var out MapEnvResponse
+				if err := json.Unmarshal(raw, &out); err != nil {
+					t.Error(err)
+					return
+				}
+				specs[i] = out.Mapping
+			}
+		}(i)
+	}
+
+	// All n requests must be queued before the worker wakes up again.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.queue) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %d of %d", len(srv.queue), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i, code := range results {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+		m, err := specs[i].ToMapping(c, envs[i])
+		if err != nil {
+			t.Fatalf("request %d: ToMapping: %v", i, err)
+		}
+		if err := m.Validate(cluster.VMMOverhead{}); err != nil {
+			t.Fatalf("request %d: batched mapping invalid: %v", i, err)
+		}
+	}
+
+	text := scrape(t, client, ts.URL)
+	if got := metricValue(t, text, "hmnd_map_batches_total"); got != 1 {
+		t.Fatalf("map batches = %v, want 1", got)
+	}
+	if got := metricValue(t, text, "hmnd_map_batched_envs_total"); int(got) != n {
+		t.Fatalf("batched envs = %v, want %d", got, n)
+	}
+	if got := metricValue(t, text, `hmnd_maps_succeeded_total{mapper="HMN"}`); int(got) != n {
+		t.Fatalf("succeeded = %v, want %d", got, n)
+	}
+	if got := metricValue(t, text, "hmnd_active_envs"); int(got) != n {
+		t.Fatalf("active envs = %v, want %d", got, n)
+	}
+	// Admission accounting covers the whole batch.
+	optimistic := metricValue(t, text, "hmnd_admit_optimistic_total")
+	fallbacks := metricValue(t, text, "hmnd_admit_fallbacks_total")
+	if int(optimistic+fallbacks) != n {
+		t.Fatalf("optimistic %v + fallbacks %v != %d", optimistic, fallbacks, n)
+	}
+}

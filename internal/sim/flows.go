@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -148,11 +149,23 @@ func maxMinRates(net *graph.Graph, capacity graph.BandwidthFunc, flows []Flow, a
 		}
 	}
 
+	// The bottleneck scan must visit edges in a fixed order: ranging over
+	// the map would break ties between equally-bottlenecked edges
+	// randomly, and with them the floating-point deduction order — the
+	// allocation would differ between runs at the ULP level.
+	edges := make([]int, 0, len(edgeCap))
+	for eid := range edgeCap {
+		edges = append(edges, eid)
+	}
+	sort.Ints(edges)
+
 	for {
-		// Bottleneck edge: smallest fair share among unfixed flows.
+		// Bottleneck edge: smallest fair share among unfixed flows, ties
+		// to the lowest edge ID.
 		bottleneck := -1
 		share := math.Inf(1)
-		for eid, cnt := range unfixedOn {
+		for _, eid := range edges {
+			cnt := unfixedOn[eid]
 			if cnt == 0 {
 				continue
 			}
