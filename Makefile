@@ -1,6 +1,6 @@
 GOPATH_BIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test lint vet fuzz clean bench-baselines bench-compare
+.PHONY: build test lint vet fuzz clean bench-baselines bench-compare replay-smoke
 
 # Relative drift (percent) bench-compare tolerates on deterministic
 # metrics before failing. Timings never gate.
@@ -43,6 +43,12 @@ bench-compare:
 	go run ./cmd/hmnbench -scale -heuristics HMN -reps 3 -json "$$tmp/scale.json" -table 2 >/dev/null && \
 	go run ./cmd/hmncompare -threshold $(BENCH_THRESHOLD) BENCH_quick_seed1.json "$$tmp/quick.json" && \
 	go run ./cmd/hmncompare -threshold $(BENCH_THRESHOLD) BENCH_scale_seed1.json "$$tmp/scale.json"
+
+## replay-smoke is the end-to-end crash/recovery check: boot hmnd with a
+## data directory, kill -9 mid-session, verify the WAL with hmnwal, and
+## restart with -replay asserting byte-identical residuals.
+replay-smoke:
+	./scripts/replay_smoke.sh
 
 clean:
 	go clean ./...

@@ -24,6 +24,17 @@
 // /restore endpoints return the capacity; restoring a healthy target or
 // failing a failed one is a 409.
 //
+// Durability: -data-dir enables the write-ahead log (internal/wal).
+// Every mutating request is logged and fsynced before its success
+// response, periodic snapshots (-snapshot-interval) bound the log, and
+// on startup the daemon replays snapshot+log back into memory before
+// the /v1 API stops answering 503 "replaying". -replay additionally
+// cross-checks every recovered session (objective recompute, registry
+// consistency) before serving:
+//
+//	hmnd -addr :8080 -data-dir /var/lib/hmnd
+//	hmnd -addr :8080 -data-dir /var/lib/hmnd -replay
+//
 // Profiling: -pprof-addr (off by default) serves net/http/pprof on its
 // own listener, kept away from the service port so profiling endpoints
 // are never exposed to tenants by accident:
@@ -59,10 +70,16 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout (queue wait included)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		dataDir   = flag.String("data-dir", "", "durability directory: WAL + snapshots (empty = in-memory only)")
+		snapEvery = flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot interval when -data-dir is set (0 = shutdown snapshot only)")
+		replay    = flag.Bool("replay", false, "verify every recovered session against a recompute before serving (needs -data-dir)")
 	)
 	flag.Parse()
 
 	cfg, err := buildConfig(*workers, *queue, *batch, *timeout)
+	if err == nil {
+		err = durabilityConfig(&cfg, *dataDir, *snapEvery, *replay)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hmnd: %v\n", err)
 		os.Exit(2)
@@ -90,6 +107,23 @@ func buildConfig(workers, queue, batch int, timeout time.Duration) (server.Confi
 	return server.Config{Workers: workers, QueueDepth: queue, BatchSize: batch, RequestTimeout: timeout}, nil
 }
 
+// durabilityConfig validates the WAL flags into cfg.
+func durabilityConfig(cfg *server.Config, dataDir string, snapEvery time.Duration, replay bool) error {
+	if dataDir == "" {
+		if replay {
+			return fmt.Errorf("-replay needs -data-dir")
+		}
+		return nil
+	}
+	if snapEvery < 0 {
+		return fmt.Errorf("-snapshot-interval must be >= 0, got %v", snapEvery)
+	}
+	cfg.DataDir = dataDir
+	cfg.SnapshotInterval = snapEvery
+	cfg.VerifyReplay = replay
+	return nil
+}
+
 // pprofHandler builds the net/http/pprof mux by hand: the package's
 // init registers on http.DefaultServeMux, which the daemon never
 // serves, so profiling stays opt-in and off the service listener.
@@ -106,6 +140,7 @@ func pprofHandler() http.Handler {
 // run serves until SIGINT/SIGTERM, then drains.
 func run(addr string, cfg server.Config, drain time.Duration, pprofAddr string) error {
 	logger := log.New(os.Stderr, "hmnd: ", log.LstdFlags)
+	cfg.Logf = logger.Printf
 	srv := server.New(cfg)
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 
@@ -130,6 +165,19 @@ func run(addr string, cfg server.Config, drain time.Duration, pprofAddr string) 
 			addr, cfg.Workers, cfg.QueueDepth, cfg.RequestTimeout)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	// Recover with the listener already up: /healthz answers 503
+	// "replaying" while the snapshot and log suffix are applied, and the
+	// /v1 API opens the moment Recover returns.
+	if cfg.DataDir != "" {
+		logger.Printf("recovering from %s", cfg.DataDir)
+		if err := srv.Recover(); err != nil {
+			httpSrv.Close()
+			srv.Close()
+			return fmt.Errorf("recover: %w", err)
+		}
+		logger.Printf("recovery complete, serving")
+	}
 
 	select {
 	case err := <-errc:

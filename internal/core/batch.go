@@ -42,11 +42,26 @@ type BatchStats struct {
 //
 // maps[i] and errs[i] describe envs[i]; exactly one of them is non-nil.
 func (s *Session) MapBatch(envs []*virtual.Env) (maps []*mapping.Mapping, errs []error, bst BatchStats) {
+	return s.MapBatchTagged(envs, nil)
+}
+
+// MapBatchTagged is MapBatch with a caller tag per environment (tags may
+// be nil for an untagged batch; otherwise len(tags) must equal
+// len(envs)). The batch's successful admissions are emitted as one
+// EventBatch — a single atomic entry in the operation log, mirroring the
+// single lock acquisition that committed them.
+func (s *Session) MapBatchTagged(envs []*virtual.Env, tags []string) (maps []*mapping.Mapping, errs []error, bst BatchStats) {
 	n := len(envs)
 	maps = make([]*mapping.Mapping, n)
 	errs = make([]error, n)
 	if n == 0 {
 		return maps, errs, bst
+	}
+	tagOf := func(i int) string {
+		if tags == nil {
+			return ""
+		}
+		return tags[i]
 	}
 
 	start := time.Now() //hmn:wallclock
@@ -91,11 +106,12 @@ func (s *Session) MapBatch(envs []*virtual.Env) (maps []*mapping.Mapping, errs [
 	// the failure the serialized path would report. Once anything
 	// commits, failures are stale and must be retried serially.
 	live := s.version == ver
+	var admits []AdmitInfo
 	for i := range envs {
 		if attemptErr[i] == nil {
-			if err := s.led.Commit(admissionTxn(s.led, envs[i], attempts[i])); err == nil {
-				s.admitLocked(attempts[i])
+			if seq, err := s.commitTxnLocked(envs[i], attempts[i], tagOf(i)); err == nil {
 				maps[i] = attempts[i]
+				admits = append(admits, AdmitInfo{Seq: seq, Tag: tagOf(i), Env: envs[i], M: attempts[i]})
 				bst.Committed++
 				live = false
 				s.optimisticCommits.Add(1)
@@ -116,9 +132,16 @@ func (s *Session) MapBatch(envs []*virtual.Env) (maps []*mapping.Mapping, errs [
 			errs[i] = err
 			continue
 		}
-		s.commitLocked(attempt, m)
-		maps[i] = m
-		live = false
+		if seq, err := s.commitTxnLocked(envs[i], m, tagOf(i)); err == nil {
+			maps[i] = m
+			admits = append(admits, AdmitInfo{Seq: seq, Tag: tagOf(i), Env: envs[i], M: m})
+			live = false
+		} else {
+			errs[i] = err
+		}
+	}
+	if len(admits) > 0 {
+		s.emitLocked(Event{Type: EventBatch, Batch: admits})
 	}
 	s.mu.Unlock()
 	bst.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock

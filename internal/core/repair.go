@@ -68,10 +68,22 @@ type RepairResult struct {
 // whole fail-and-repair cycle deterministic. Each result reports the
 // environment as repaired (placements kept, broken paths re-routed),
 // replaced (fully re-mapped) or unrecoverable (still evicted).
+//
+// Standalone repairs log each successful re-admission as a plain admit
+// event: state-wise, a repair commit is an admission. The atomic
+// FailHostAndRepair/FailLinkAndRepair fold the outcomes into their
+// single fail event instead.
 func (s *Session) Repair(evicted []*mapping.Mapping) []RepairResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.repairLocked(evicted)
+	results := s.repairLocked(evicted, nil)
+	for _, res := range results {
+		if res.New != nil {
+			entry := s.active[res.New]
+			s.emitLocked(Event{Type: EventAdmit, Admit: &AdmitInfo{Seq: entry.seq, Tag: entry.tag, Env: res.Env, M: res.New}})
+		}
+	}
+	return results
 }
 
 // FailHostAndRepair fails the host and repairs the evicted environments
@@ -80,11 +92,15 @@ func (s *Session) Repair(evicted []*mapping.Mapping) []RepairResult {
 func (s *Session) FailHostAndRepair(node graph.NodeID) ([]RepairResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	evicted, err := s.failHostLocked(node)
+	evicted, entries, err := s.failHostLocked(node)
 	if err != nil {
 		return nil, err
 	}
-	return s.repairLocked(evicted), nil
+	results := s.repairLocked(evicted, entries)
+	s.emitLocked(Event{Type: EventFail, Fail: &FailInfo{
+		Kind: "host", Target: int(node), Evicted: seqsOf(entries), Repairs: s.repairInfosLocked(entries, results),
+	}})
+	return results, nil
 }
 
 // FailLinkAndRepair cuts the link and repairs the evicted environments
@@ -92,18 +108,50 @@ func (s *Session) FailHostAndRepair(node graph.NodeID) ([]RepairResult, error) {
 func (s *Session) FailLinkAndRepair(edgeID int) ([]RepairResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	evicted, err := s.failLinkLocked(edgeID)
+	evicted, entries, err := s.failLinkLocked(edgeID)
 	if err != nil {
 		return nil, err
 	}
-	return s.repairLocked(evicted), nil
+	results := s.repairLocked(evicted, entries)
+	s.emitLocked(Event{Type: EventFail, Fail: &FailInfo{
+		Kind: "link", Target: edgeID, Evicted: seqsOf(entries), Repairs: s.repairInfosLocked(entries, results),
+	}})
+	return results, nil
 }
 
+// repairInfosLocked pairs each eviction with its repair outcome for the
+// commit event. Callers hold s.mu.
+//
 //hmn:locked mu
-func (s *Session) repairLocked(evicted []*mapping.Mapping) []RepairResult {
-	results := make([]RepairResult, 0, len(evicted))
-	for _, old := range evicted {
-		results = append(results, s.repairOne(old))
+func (s *Session) repairInfosLocked(entries []activeEntry, results []RepairResult) []RepairInfo {
+	infos := make([]RepairInfo, len(results))
+	for i, res := range results {
+		infos[i] = RepairInfo{OldSeq: entries[i].seq, Outcome: res.Outcome}
+		if res.New != nil {
+			infos[i].NewSeq = s.active[res.New].seq
+			infos[i].Tag = entries[i].tag
+			infos[i].M = res.New
+		}
+	}
+	return infos
+}
+
+// repairLocked repairs the evicted mappings in order. evicted, when
+// non-nil, holds the admission entries the mappings had before eviction,
+// captured by the fail paths; their tags carry over to the replacement
+// mappings so a recovered daemon keeps its environment IDs. Standalone
+// Repair passes nil (the eviction already erased the bookkeeping) and
+// replacements are untagged. Callers hold s.mu.
+//
+//hmn:locked mu
+func (s *Session) repairLocked(ms []*mapping.Mapping, evicted []activeEntry) []RepairResult {
+	results := make([]RepairResult, 0, len(ms))
+	for i, old := range ms {
+		tag := ""
+		if evicted != nil {
+			tag = evicted[i].tag
+		}
+		results = append(results, s.repairOne(old, tag))
 	}
 	return results
 }
@@ -112,9 +160,9 @@ func (s *Session) repairLocked(evicted []*mapping.Mapping) []RepairResult {
 // Callers hold s.mu.
 //
 //hmn:locked mu
-func (s *Session) repairOne(old *mapping.Mapping) RepairResult {
+func (s *Session) repairOne(old *mapping.Mapping, tag string) RepairResult {
 	res := RepairResult{Env: old.Env, Old: old}
-	if nm, ok := s.tryReroute(old); ok {
+	if nm, ok := s.tryReroute(old, tag); ok {
 		res.New, res.Outcome = nm, RepairRepaired
 		return res
 	}
@@ -124,7 +172,12 @@ func (s *Session) repairOne(old *mapping.Mapping) RepairResult {
 		res.Outcome, res.Err = RepairUnrecoverable, err
 		return res
 	}
-	s.commitLocked(attempt, nm)
+	if _, err := s.commitTxnLocked(old.Env, nm, tag); err != nil {
+		// Cannot happen — the attempt mapped on a clone taken under the
+		// lock we still hold — but a refusal must not admit silently.
+		res.Outcome, res.Err = RepairUnrecoverable, err
+		return res
+	}
 	res.New, res.Outcome = nm, RepairReplaced
 	return res
 }
@@ -138,7 +191,7 @@ func (s *Session) repairOne(old *mapping.Mapping) RepairResult {
 // failure. Callers hold s.mu.
 //
 //hmn:locked mu
-func (s *Session) tryReroute(old *mapping.Mapping) (*mapping.Mapping, bool) {
+func (s *Session) tryReroute(old *mapping.Mapping, tag string) (*mapping.Mapping, bool) {
 	env := old.Env
 	attempt := s.led.Clone()
 	nm := mapping.New(s.led.Cluster(), env)
@@ -165,6 +218,8 @@ func (s *Session) tryReroute(old *mapping.Mapping) (*mapping.Mapping, bool) {
 			return nil, false
 		}
 	}
-	s.commitLocked(attempt, nm)
+	if _, err := s.commitTxnLocked(env, nm, tag); err != nil {
+		return nil, false
+	}
 	return nm, true
 }

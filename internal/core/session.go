@@ -44,12 +44,15 @@ type Session struct {
 	mapper   sessionMapper
 	overhead cluster.VMMOverhead
 	// active maps each deployed environment to its admission sequence
-	// number. The sequence is the session's only ordering authority:
-	// eviction and repair process environments oldest-first, so failure
-	// handling is deterministic (the repo-wide rule that all randomness
-	// flows through explicit seeds extends to iteration order).
-	active  map[*mapping.Mapping]uint64 //hmn:guardedby mu
-	nextSeq uint64                      //hmn:guardedby mu
+	// number and caller tag. The sequence is the session's only ordering
+	// authority: eviction and repair process environments oldest-first,
+	// so failure handling is deterministic (the repo-wide rule that all
+	// randomness flows through explicit seeds extends to iteration
+	// order). The tag is an opaque caller label (hmnd's environment ID)
+	// that rides the commit events and snapshots so a recovered daemon
+	// can re-bind its HTTP identifiers; repairs carry it over.
+	active  map[*mapping.Mapping]activeEntry //hmn:guardedby mu
+	nextSeq uint64                           //hmn:guardedby mu
 	// version counts committed state changes (admissions, releases,
 	// failures, restorations). An optimistic attempt records it at
 	// snapshot time; an unchanged version at commit time proves the
@@ -61,9 +64,22 @@ type Session struct {
 	// ar caches Dijkstra latency tables across admissions; see arCache.
 	ar *arCache
 
+	// hook observes every committed operation in commit order, under the
+	// lock; see SetCommitHook. opCount is the per-session operation
+	// index the events are stamped with.
+	hook    func(Event) //hmn:guardedby mu
+	opCount uint64      //hmn:guardedby mu
+
 	optimisticCommits atomic.Uint64
 	conflicts         atomic.Uint64
 	fallbacks         atomic.Uint64
+}
+
+// activeEntry is the session-side bookkeeping of one deployed
+// environment: its admission sequence number and the caller's tag.
+type activeEntry struct {
+	seq uint64
+	tag string
 }
 
 // defaultOptimisticRetries is how many optimistic attempts Map makes
@@ -138,24 +154,47 @@ func NewSession(c *cluster.Cluster, overhead cluster.VMMOverhead, mapper Mapper)
 	if err != nil {
 		return nil, fmt.Errorf("session: %w", err)
 	}
-	var sm sessionMapper
-	switch m := mapper.(type) {
-	case nil:
-		sm = &HMN{Overhead: overhead}
-	case sessionMapper:
-		sm = m
-	default:
-		return nil, fmt.Errorf("session: mapper %s cannot run incrementally (needs a ledger-driven mapper such as HMN or HMN-C)", mapper.Name())
+	sm, err := sessionMapperFor(mapper, overhead)
+	if err != nil {
+		return nil, err
 	}
 	return &Session{
 		c:                 c,
 		led:               led,
 		mapper:            sm,
 		overhead:          overhead,
-		active:            make(map[*mapping.Mapping]uint64),
+		active:            make(map[*mapping.Mapping]activeEntry),
 		optimisticRetries: defaultOptimisticRetries,
 		ar:                newARCache(),
 	}, nil
+}
+
+// MapperByName resolves the wire name of a session-capable mapper —
+// "HMN" (also the default for an empty name) or "HMN-C" — shared by the
+// HTTP layer and WAL recovery so a logged session reopens with exactly
+// the mapper it ran with.
+func MapperByName(name string, overhead cluster.VMMOverhead) (Mapper, error) {
+	switch name {
+	case "", "HMN":
+		return &HMN{Overhead: overhead}, nil
+	case "HMN-C":
+		return &Consolidator{Overhead: overhead}, nil
+	default:
+		return nil, fmt.Errorf("unknown mapper %q (want HMN or HMN-C)", name)
+	}
+}
+
+// sessionMapperFor validates that mapper can drive a session
+// incrementally; nil selects the default HMN.
+func sessionMapperFor(mapper Mapper, overhead cluster.VMMOverhead) (sessionMapper, error) {
+	switch m := mapper.(type) {
+	case nil:
+		return &HMN{Overhead: overhead}, nil
+	case sessionMapper:
+		return m, nil
+	default:
+		return nil, fmt.Errorf("session: mapper %s cannot run incrementally (needs a ledger-driven mapper such as HMN or HMN-C)", mapper.Name())
+	}
 }
 
 // Cluster returns the session's cluster.
@@ -204,7 +243,7 @@ type AdmitStats struct {
 // failure the residuals are left exactly as they were (every attempt
 // runs on a private snapshot and commits atomically).
 func (s *Session) Map(v *virtual.Env) (*mapping.Mapping, error) {
-	m, _, err := s.MapWithStats(v)
+	m, _, err := s.MapTagged(v, "")
 	return m, err
 }
 
@@ -213,6 +252,13 @@ func (s *Session) Map(v *virtual.Env) (*mapping.Mapping, error) {
 // and the time spent holding the session lock. The mapping result is
 // identical either way.
 func (s *Session) MapWithStats(v *virtual.Env) (*mapping.Mapping, AdmitStats, error) {
+	return s.MapTagged(v, "")
+}
+
+// MapTagged is MapWithStats with a caller tag attached to the admission:
+// the tag rides the commit event and the session snapshot (hmnd passes
+// its environment ID), and repairs carry it to replacement mappings.
+func (s *Session) MapTagged(v *virtual.Env, tag string) (*mapping.Mapping, AdmitStats, error) {
 	var st AdmitStats
 	for try := 0; try < s.optimisticRetries; try++ {
 		start := time.Now() //hmn:wallclock
@@ -231,27 +277,30 @@ func (s *Session) MapWithStats(v *virtual.Env) (*mapping.Mapping, AdmitStats, er
 		s.mu.Lock()
 		if s.version == ver {
 			// Nothing committed since the snapshot was taken, so it IS
-			// the live state plus this mapping: swapping it in is
-			// byte-identical to having mapped under the lock — the
-			// serialized semantics, including this attempt's error.
+			// the live state: committing the mapping's net effect is
+			// the serialized semantics, including this attempt's error.
 			if mapErr != nil {
 				s.mu.Unlock()
 				return nil, st, mapErr
 			}
-			s.commitLocked(snap, m)
-			s.mu.Unlock()
-			s.optimisticCommits.Add(1)
-			st.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
-			return m, st, nil
-		}
-		if mapErr == nil {
+			if seq, err := s.commitTxnLocked(v, m, tag); err == nil {
+				s.emitLocked(Event{Type: EventAdmit, Admit: &AdmitInfo{Seq: seq, Tag: tag, Env: v, M: m}})
+				s.mu.Unlock()
+				s.optimisticCommits.Add(1)
+				st.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
+				return m, st, nil
+			}
+			// A commit against the unchanged snapshot state cannot be
+			// rejected (the attempt reserved the same demands); treat a
+			// refusal as a conflict and retry defensively.
+		} else if mapErr == nil {
 			// The state moved while we mapped. The snapshot's residuals
 			// are stale, but the mapping is still admissible if its net
 			// demands — final placements and path bandwidths — fit the
 			// live residuals; Commit validates exactly that and applies
 			// atomically, or rejects without touching the ledger.
-			if err := s.led.Commit(admissionTxn(s.led, v, m)); err == nil {
-				s.admitLocked(m)
+			if seq, err := s.commitTxnLocked(v, m, tag); err == nil {
+				s.emitLocked(Event{Type: EventAdmit, Admit: &AdmitInfo{Seq: seq, Tag: tag, Env: v, M: m}})
 				s.mu.Unlock()
 				s.optimisticCommits.Add(1)
 				st.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
@@ -279,7 +328,10 @@ func (s *Session) MapWithStats(v *virtual.Env) (*mapping.Mapping, AdmitStats, er
 	m := mapping.New(s.c, v)
 	err := s.mapper.mapOnLedger(attempt, v, m, s.ar)
 	if err == nil {
-		s.commitLocked(attempt, m)
+		var seq uint64
+		if seq, err = s.commitTxnLocked(v, m, tag); err == nil {
+			s.emitLocked(Event{Type: EventAdmit, Admit: &AdmitInfo{Seq: seq, Tag: tag, Env: v, M: m}})
+		}
 	}
 	s.mu.Unlock()
 	st.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
@@ -306,23 +358,34 @@ func admissionTxn(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) *clus
 	return txn
 }
 
-// commitLocked swaps in the attempt ledger and admits m with the next
-// sequence number. Callers hold s.mu.
+// commitTxnLocked is the single canonical commit funnel: it collapses m
+// into its net transaction, validates it against the live residuals and
+// applies it atomically (cluster.Ledger.Commit applies per-host
+// aggregates in ascending host order, then per-edge aggregates in
+// ascending edge order), then registers m as active under the next
+// sequence number. Every admission — optimistic, serialized, batched or
+// repair — commits through here, so the live ledger evolves as a
+// deterministic sequence of canonical applications keyed by the
+// admission sequence; replaying the same sequence (internal/wal)
+// reproduces the residual vectors bit-for-bit. Callers hold s.mu.
 //
 //hmn:locked mu
-func (s *Session) commitLocked(attempt *cluster.Ledger, m *mapping.Mapping) {
-	s.led = attempt
-	s.admitLocked(m)
+func (s *Session) commitTxnLocked(v *virtual.Env, m *mapping.Mapping, tag string) (uint64, error) {
+	if err := s.led.Commit(admissionTxn(s.led, v, m)); err != nil {
+		return 0, err
+	}
+	return s.admitLocked(m, tag), nil
 }
 
 // admitLocked registers m as active and bumps the version. Callers hold
 // s.mu and have already applied m's reservations to s.led.
 //
 //hmn:locked mu
-func (s *Session) admitLocked(m *mapping.Mapping) {
+func (s *Session) admitLocked(m *mapping.Mapping, tag string) uint64 {
 	s.version++
 	s.nextSeq++
-	s.active[m] = s.nextSeq
+	s.active[m] = activeEntry{seq: s.nextSeq, tag: tag}
+	return s.nextSeq
 }
 
 // SessionStats are monotonic totals over a session's lifetime.
@@ -363,7 +426,7 @@ func (s *Session) ActiveMappings() []*mapping.Mapping {
 	for m := range s.active {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return s.active[out[i]] < s.active[out[j]] })
+	sort.Slice(out, func(i, j int) bool { return s.active[out[i]].seq < s.active[out[j]].seq })
 	return out
 }
 
@@ -417,16 +480,21 @@ var ErrNotFailed = errors.New("core: target is not failed")
 func (s *Session) FailHost(node graph.NodeID) ([]*mapping.Mapping, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.failHostLocked(node)
+	affected, entries, err := s.failHostLocked(node)
+	if err != nil {
+		return nil, err
+	}
+	s.emitLocked(Event{Type: EventFail, Fail: &FailInfo{Kind: "host", Target: int(node), Evicted: seqsOf(entries)}})
+	return affected, nil
 }
 
 //hmn:locked mu
-func (s *Session) failHostLocked(node graph.NodeID) ([]*mapping.Mapping, error) {
+func (s *Session) failHostLocked(node graph.NodeID) ([]*mapping.Mapping, []activeEntry, error) {
 	if !s.led.Cluster().IsHost(node) {
-		return nil, fmt.Errorf("%w: node %d is not a host", ErrUnknownTarget, node)
+		return nil, nil, fmt.Errorf("%w: node %d is not a host", ErrUnknownTarget, node)
 	}
 	if s.led.Quarantined(node) {
-		return nil, fmt.Errorf("%w: host %d", ErrAlreadyFailed, node)
+		return nil, nil, fmt.Errorf("%w: host %d", ErrAlreadyFailed, node)
 	}
 	var affected []*mapping.Mapping
 	for m := range s.active {
@@ -438,6 +506,7 @@ func (s *Session) failHostLocked(node graph.NodeID) ([]*mapping.Mapping, error) 
 		}
 	}
 	s.sortByAdmission(affected)
+	entries := s.entriesOfLocked(affected)
 	// Evict before quarantining: release must restore resources on the
 	// failing host too, so the ledger stays consistent if the host is
 	// later readmitted.
@@ -446,7 +515,36 @@ func (s *Session) failHostLocked(node graph.NodeID) ([]*mapping.Mapping, error) 
 	}
 	s.led.Quarantine(node)
 	s.version++
-	return affected, nil
+	return affected, entries, nil
+}
+
+// entriesOfLocked captures the admission entries (sequence number and
+// tag) of ms, which must all be active — the fail paths call it before
+// releaseLocked erases the bookkeeping, so the repair engine can carry
+// tags to replacement mappings. Callers hold s.mu.
+//
+//hmn:locked mu
+func (s *Session) entriesOfLocked(ms []*mapping.Mapping) []activeEntry {
+	if len(ms) == 0 {
+		return nil
+	}
+	entries := make([]activeEntry, len(ms))
+	for i, m := range ms {
+		entries[i] = s.active[m]
+	}
+	return entries
+}
+
+// seqsOf projects captured entries onto their sequence numbers.
+func seqsOf(entries []activeEntry) []uint64 {
+	if len(entries) == 0 {
+		return nil
+	}
+	seqs := make([]uint64, len(entries))
+	for i, e := range entries {
+		seqs[i] = e.seq
+	}
+	return seqs
 }
 
 // FailLink models the failure of one physical link: no future routing
@@ -460,16 +558,21 @@ func (s *Session) failHostLocked(node graph.NodeID) ([]*mapping.Mapping, error) 
 func (s *Session) FailLink(edgeID int) ([]*mapping.Mapping, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.failLinkLocked(edgeID)
+	affected, entries, err := s.failLinkLocked(edgeID)
+	if err != nil {
+		return nil, err
+	}
+	s.emitLocked(Event{Type: EventFail, Fail: &FailInfo{Kind: "link", Target: edgeID, Evicted: seqsOf(entries)}})
+	return affected, nil
 }
 
 //hmn:locked mu
-func (s *Session) failLinkLocked(edgeID int) ([]*mapping.Mapping, error) {
+func (s *Session) failLinkLocked(edgeID int) ([]*mapping.Mapping, []activeEntry, error) {
 	if edgeID < 0 || edgeID >= s.led.Cluster().Net().NumEdges() {
-		return nil, fmt.Errorf("%w: edge %d out of range", ErrUnknownTarget, edgeID)
+		return nil, nil, fmt.Errorf("%w: edge %d out of range", ErrUnknownTarget, edgeID)
 	}
 	if s.led.EdgeCut(edgeID) {
-		return nil, fmt.Errorf("%w: edge %d", ErrAlreadyFailed, edgeID)
+		return nil, nil, fmt.Errorf("%w: edge %d", ErrAlreadyFailed, edgeID)
 	}
 	var affected []*mapping.Mapping
 	for m := range s.active {
@@ -484,12 +587,13 @@ func (s *Session) failLinkLocked(edgeID int) ([]*mapping.Mapping, error) {
 		}
 	}
 	s.sortByAdmission(affected)
+	entries := s.entriesOfLocked(affected)
 	for _, m := range affected {
 		s.releaseLocked(m)
 	}
 	s.led.CutEdge(edgeID)
 	s.version++
-	return affected, nil
+	return affected, entries, nil
 }
 
 // sortByAdmission orders mappings by their admission sequence number,
@@ -497,7 +601,7 @@ func (s *Session) failLinkLocked(edgeID int) ([]*mapping.Mapping, error) {
 //
 //hmn:locked mu
 func (s *Session) sortByAdmission(ms []*mapping.Mapping) {
-	sort.Slice(ms, func(i, j int) bool { return s.active[ms[i]] < s.active[ms[j]] })
+	sort.Slice(ms, func(i, j int) bool { return s.active[ms[i]].seq < s.active[ms[j]].seq })
 }
 
 // RestoreLink readmits a previously failed physical link. Restoring a
@@ -513,6 +617,7 @@ func (s *Session) RestoreLink(edgeID int) error {
 	}
 	s.led.RestoreEdge(edgeID)
 	s.version++
+	s.emitLocked(Event{Type: EventRestore, Restore: &RestoreInfo{Kind: "link", Target: edgeID}})
 	return nil
 }
 
@@ -529,6 +634,7 @@ func (s *Session) RestoreHost(node graph.NodeID) error {
 	}
 	s.led.Unquarantine(node)
 	s.version++
+	s.emitLocked(Event{Type: EventRestore, Restore: &RestoreInfo{Kind: "host", Target: int(node)}})
 	return nil
 }
 
@@ -540,10 +646,12 @@ var ErrNotActive = errors.New("core: mapping is not active in this session")
 func (s *Session) Release(m *mapping.Mapping) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.active[m]; !ok {
+	entry, ok := s.active[m]
+	if !ok {
 		return ErrNotActive
 	}
 	s.releaseLocked(m)
+	s.emitLocked(Event{Type: EventRelease, ReleaseSeq: entry.seq})
 	return nil
 }
 

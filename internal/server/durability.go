@@ -1,0 +1,361 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/spec"
+	"repro/internal/wal"
+)
+
+// This file wires the WAL (internal/wal) through the daemon:
+//
+//   - every session gets a commit hook that appends one record per
+//     committed operation, inside the session lock, in commit order;
+//   - every mutating handler calls ackBarrier before writing its
+//     success response, so a record is durable before its client hears
+//     about it (ack-after-log) — a crash can lose unacknowledged work,
+//     never acknowledged work;
+//   - Recover rebuilds the session table from the latest snapshot plus
+//     the log suffix before the daemon starts serving; the /v1 API
+//     returns 503 "replaying" until it finishes;
+//   - a background loop (and graceful shutdown, after the queue drains)
+//     takes full-state snapshots that truncate the log.
+
+// objectiveTolerance is the acceptable gap between a recovered
+// session's incremental Eq. (10) objective and a two-pass recompute
+// from its residual vector — the same band the core property tests use.
+// The residual vectors themselves are compared bit-exactly by the WAL
+// tests; the objective accumulators are rebuilt on restore (see
+// cluster.LedgerState) and may differ in the last few ulps.
+const objectiveTolerance = 1e-9
+
+// logf reports durability housekeeping through the configured logger.
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ackBarrier makes every WAL record appended so far durable. Mutating
+// handlers call it after their operation commits and before they write
+// a success response; with no data directory it is free.
+func (s *Server) ackBarrier() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Barrier()
+}
+
+// attachWAL installs the session's commit hook. The hook runs under the
+// session lock: it serializes the event into a record and buffers it —
+// the fsync is paid once per acknowledged request, not per operation.
+func (s *Server) attachWAL(sess *session) {
+	if s.wal == nil {
+		return
+	}
+	sid, overhead := sess.id, sess.overhead
+	sess.core.SetCommitHook(func(ev core.Event) {
+		if err := s.wal.Append(wal.RecordFromEvent(sid, overhead, ev)); err != nil {
+			// The operation is already committed in memory and cannot be
+			// undone here; the barrier on the ack path will fail too, so
+			// the client is not told the operation is durable.
+			s.logf("hmnd: wal append (session %s): %v", sid, err)
+		}
+	})
+}
+
+// appendOpen logs a session's open record. Called under s.mu, before
+// the session becomes visible, so no operation record can precede it.
+//
+//hmn:locked mu
+func (s *Server) appendOpenLocked(sess *session) {
+	if s.wal == nil {
+		return
+	}
+	rec := &wal.Record{Kind: wal.KindOpen, SID: sess.id, Open: &wal.OpenRec{
+		Cluster: sess.clusterSpec,
+		Mapper:  sess.mapperName,
+		Proc:    sess.overhead.Proc,
+		Mem:     sess.overhead.Mem,
+		Stor:    sess.overhead.Stor,
+	}}
+	if err := s.wal.Append(rec); err != nil {
+		s.logf("hmnd: wal append (open %s): %v", sess.id, err)
+	}
+}
+
+// appendClose logs a session's close record, after the releases its
+// teardown emitted.
+func (s *Server) appendClose(sid string) {
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.Append(&wal.Record{Kind: wal.KindClose, SID: sid}); err != nil {
+		s.logf("hmnd: wal append (close %s): %v", sid, err)
+	}
+}
+
+// Recover opens the data directory, rebuilds every session from the
+// latest snapshot plus the log suffix, and flips the daemon from
+// "replaying" to "serving". It must be called exactly once, before (or
+// concurrently with) serving traffic — the /v1 API answers 503 until it
+// returns. With no data directory it is a no-op.
+//
+// When Config.VerifyReplay is set, every recovered session is checked
+// before serving: the incremental objective must match a two-pass
+// recompute within 1e-9 and the environment registry must agree with
+// the session's active count.
+func (s *Server) Recover() error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	w, recovered, err := wal.Open(s.cfg.DataDir, wal.Hooks{
+		OnAppend:   s.mWALRecords.Inc,
+		OnFsync:    s.mFsyncLatency.Observe,
+		OnSnapshot: s.mSnapshotLatency.Observe,
+		Logf:       s.cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	if recovered.TruncatedBytes > 0 {
+		s.logf("hmnd: recovery truncated a torn log tail (%d bytes); the records were never acknowledged", recovered.TruncatedBytes)
+	}
+
+	// Phase 1: sessions from the snapshot, each restored at its own
+	// operation boundary.
+	restoring := make(map[string]*session)
+	boundary := make(map[string]uint64)
+	if snap := recovered.Snapshot; snap != nil {
+		for _, sn := range snap.Sessions {
+			cs, _, err := wal.RestoreSnap(sn)
+			if err != nil {
+				return err
+			}
+			sess := s.sessionShell(sn.SID, sn.Cluster, sn.Mapper, cs)
+			sess.overhead.Proc, sess.overhead.Mem, sess.overhead.Stor = sn.Proc, sn.Mem, sn.Stor
+			sess.nextEnv = int(sn.NextEnv)
+			restoring[sn.SID] = sess
+			boundary[sn.SID] = sn.OpCount
+		}
+	}
+
+	// Phase 2: the log suffix, in append order. Operation records at or
+	// below the owning session's snapshot boundary were already applied
+	// by the snapshot; open records for snapshotted sessions and close
+	// records for unknown ones are idempotent no-ops.
+	for i := range recovered.Records {
+		rec := &recovered.Records[i]
+		switch rec.Kind {
+		case wal.KindOpen:
+			if restoring[rec.SID] != nil {
+				continue
+			}
+			cs, _, err := wal.OpenSession(rec)
+			if err != nil {
+				return err
+			}
+			restoring[rec.SID] = s.sessionShell(rec.SID, rec.Open.Cluster, rec.Open.Mapper, cs)
+			restoring[rec.SID].overhead.Proc = rec.Open.Proc
+			restoring[rec.SID].overhead.Mem = rec.Open.Mem
+			restoring[rec.SID].overhead.Stor = rec.Open.Stor
+		case wal.KindClose:
+			delete(restoring, rec.SID)
+		default:
+			sess := restoring[rec.SID]
+			if sess == nil {
+				return fmt.Errorf("server: wal record %q for unknown session %s", rec.Kind, rec.SID)
+			}
+			if rec.Index <= boundary[rec.SID] {
+				continue
+			}
+			if err := wal.ReplayRecord(sess.core, rec); err != nil {
+				return err
+			}
+			s.mReplayRecords.Inc()
+			noteEnvOrdinals(sess, rec)
+		}
+	}
+
+	// Phase 3: install. The environment registry is rebuilt from each
+	// session's final active set — tags are hmnd's environment IDs, and
+	// they survive snapshots, admissions and repairs.
+	ids := make([]string, 0, len(restoring))
+	for sid := range restoring {
+		ids = append(ids, sid)
+	}
+	sort.Strings(ids)
+	totalEnvs := 0
+	for _, sid := range ids {
+		sess := restoring[sid]
+		for _, a := range sess.core.Export().Active {
+			if a.Tag == "" {
+				continue
+			}
+			sess.envs[a.Tag] = &envRecord{env: a.M.Env, m: a.M}
+		}
+		totalEnvs += len(sess.envs)
+		if s.cfg.VerifyReplay {
+			if err := verifySession(sess); err != nil {
+				return err
+			}
+		}
+		s.attachWAL(sess)
+		sess.stddev.Set(mapping.Objective(sess.core.ResidualProc()))
+		s.mu.Lock()
+		s.sessions[sid] = sess
+		if n, ok := sessionOrdinal(sid); ok && n > s.nextSession {
+			s.nextSession = n
+		}
+		s.mu.Unlock()
+	}
+	s.mSessions.Set(float64(len(ids)))
+	s.mEnvs.Set(float64(totalEnvs))
+	s.logf("hmnd: recovered %d sessions, %d environments, replayed %d records",
+		len(ids), totalEnvs, int(s.mReplayRecords.Value()))
+
+	if s.cfg.SnapshotInterval > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop(s.cfg.SnapshotInterval)
+	}
+	s.replaying.Store(false)
+	return nil
+}
+
+// verifySession cross-checks one recovered session before it serves.
+// The session is not yet published, so no handler can race it.
+//
+//hmn:locked mu
+func verifySession(sess *session) error {
+	inc := sess.core.ObjectiveStdDev()
+	re := mapping.Objective(sess.core.ResidualProc())
+	if diff := inc - re; diff > objectiveTolerance || diff < -objectiveTolerance {
+		return fmt.Errorf("server: session %s recovered objective %.17g diverges from recomputed %.17g", sess.id, inc, re)
+	}
+	if got, want := len(sess.envs), sess.core.Active(); got != want {
+		return fmt.Errorf("server: session %s recovered %d environment records for %d active environments", sess.id, got, want)
+	}
+	return nil
+}
+
+// sessionShell builds the server-side wrapper for a recovered core
+// session (metrics gauge included; the env registry starts empty).
+func (s *Server) sessionShell(sid string, cs spec.ClusterSpec, mapperName string, core *core.Session) *session {
+	return &session{
+		id:          sid,
+		core:        core,
+		clusterSpec: cs,
+		mapperName:  mapperName,
+		stddev: s.reg.Gauge(
+			fmt.Sprintf("hmnd_session_residual_stddev{session=%q}", sid),
+			"Stddev of residual CPU per host (the Eq. 10 objective) per session."),
+		envs: make(map[string]*envRecord),
+	}
+}
+
+// noteEnvOrdinals advances the session's environment-ID counter past
+// every ID a replayed record names, so a recovered daemon never hands
+// out an ID twice. The session is not yet published (recovery runs
+// before the listener), so no handler can race it.
+//
+//hmn:locked mu
+func noteEnvOrdinals(sess *session, rec *wal.Record) {
+	bump := func(tag string) {
+		if n, ok := envOrdinal(tag); ok && n > sess.nextEnv {
+			sess.nextEnv = n
+		}
+	}
+	switch rec.Kind {
+	case wal.KindAdmit:
+		bump(rec.Admit.Tag)
+	case wal.KindBatch:
+		for i := range rec.Batch {
+			bump(rec.Batch[i].Tag)
+		}
+	case wal.KindFail:
+		for _, rr := range rec.Fail.Repairs {
+			bump(rr.Tag)
+		}
+	}
+}
+
+// envOrdinal parses hmnd's environment IDs ("e7" → 7).
+func envOrdinal(tag string) (int, bool) {
+	if !strings.HasPrefix(tag, "e") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(tag[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// sessionOrdinal parses hmnd's session IDs ("s3" → 3).
+func sessionOrdinal(sid string) (int, bool) {
+	if !strings.HasPrefix(sid, "s") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(sid[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// exportAll captures every open session for a snapshot, in session-ID
+// order for deterministic snapshot bytes.
+func (s *Server) exportAll() ([]wal.SessionSnap, error) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	out := make([]wal.SessionSnap, 0, len(sessions))
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		nextEnv := sess.nextEnv
+		closed := sess.closed
+		sess.mu.Unlock()
+		if closed {
+			continue
+		}
+		out = append(out, wal.ExportSession(sess.id, sess.clusterSpec, sess.mapperName, sess.overhead, uint64(nextEnv), sess.core))
+	}
+	return out, nil
+}
+
+// writeSnapshot takes one full-state snapshot and truncates the log.
+func (s *Server) writeSnapshot() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.WriteSnapshot(s.exportAll)
+}
+
+// snapshotLoop snapshots on a fixed cadence until Close stops it.
+func (s *Server) snapshotLoop(interval time.Duration) {
+	defer close(s.snapDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.writeSnapshot(); err != nil {
+				s.logf("hmnd: periodic snapshot: %v", err)
+			}
+		case <-s.snapStop:
+			return
+		}
+	}
+}

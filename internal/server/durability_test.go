@@ -1,0 +1,296 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/wal"
+)
+
+// durableConfig is the standard test config with a data directory.
+func durableConfig(t *testing.T, dir string) Config {
+	return Config{
+		Workers:      2,
+		QueueDepth:   16,
+		DataDir:      dir,
+		VerifyReplay: true,
+		Logf:         t.Logf,
+	}
+}
+
+// TestHealthzReadiness covers the replaying/serving gate: with a data
+// directory the daemon starts in "replaying", answers 503 on /v1 until
+// Recover returns, and "serving" afterwards.
+func TestHealthzReadiness(t *testing.T) {
+	_, cs := testbed(t)
+	s := New(durableConfig(t, t.TempDir()))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	client := ts.Client()
+
+	code, raw, _ := doJSON(t, client, "GET", ts.URL+"/v1/healthz", nil)
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(raw), "replaying") {
+		t.Fatalf("healthz before Recover: %d %q, want 503 replaying", code, raw)
+	}
+	code, _, _ = doJSON(t, client, "POST", ts.URL+"/v1/sessions",
+		OpenSessionRequest{Cluster: cs})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("API answered %d during replay, want 503", code)
+	}
+	// Metrics stay reachable during replay (operators watch the
+	// hmnd_replay_records_total progress there).
+	code, _, _ = doJSON(t, client, "GET", ts.URL+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics during replay: %d", code)
+	}
+
+	if err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	code, raw, _ = doJSON(t, client, "GET", ts.URL+"/v1/healthz", nil)
+	if code != http.StatusOK || !strings.Contains(string(raw), "serving") {
+		t.Fatalf("healthz after Recover: %d %q, want 200 serving", code, raw)
+	}
+	if sid := openSession(t, client, ts.URL, cs, ""); sid == "" {
+		t.Fatal("no session after recovery")
+	}
+}
+
+// TestAckAfterLog checks the durability contract at the API edge: by
+// the time a mutating request is acknowledged, its records are on disk
+// and visible to a concurrent read-only Scan.
+func TestAckAfterLog(t *testing.T) {
+	dir := t.TempDir()
+	_, cs := testbed(t)
+	s := New(durableConfig(t, dir))
+	if err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	client := ts.Client()
+
+	sid := openSession(t, client, ts.URL, cs, "")
+	code, raw, _ := doJSON(t, client, "POST", ts.URL+"/v1/sessions/"+sid+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(42, 8))})
+	if code != http.StatusOK {
+		t.Fatalf("map: %d %s", code, raw)
+	}
+	var out MapEnvResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// The daemon is still running; Scan reads what is durable so far.
+	rec, err := wal.Scan(dir, wal.Hooks{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opened, admitted bool
+	for i := range rec.Records {
+		r := &rec.Records[i]
+		switch {
+		case r.Kind == wal.KindOpen && r.SID == sid:
+			opened = true
+		case r.Kind == wal.KindAdmit && r.SID == sid && r.Admit.Tag == out.ID:
+			admitted = true
+		}
+	}
+	if !opened || !admitted {
+		t.Fatalf("acknowledged operations not durable: open=%v admit=%v in %d records",
+			opened, admitted, len(rec.Records))
+	}
+}
+
+// TestRestartRoundTrip is the full lifecycle: serve traffic, shut down
+// (queue drains, final snapshot lands), start a second daemon on the
+// same directory, and check the recovered state answers every read
+// exactly as the first daemon did — same residual bytes, same tenants
+// under the same IDs — and that new work gets fresh IDs.
+func TestRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	_, cs := testbed(t)
+	cfg := durableConfig(t, dir)
+
+	s1 := New(cfg)
+	if err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	client := ts1.Client()
+	sid := openSession(t, client, ts1.URL, cs, "")
+	base := ts1.URL + "/v1/sessions/" + sid
+
+	envIDs := make([]string, 0, 3)
+	victim := -1
+	for i := 0; i < 3; i++ {
+		code, raw, _ := doJSON(t, client, "POST", base+"/envs",
+			MapEnvRequest{Env: spec.FromEnv(smallEnv(int64(500+i), 10))})
+		if code != http.StatusOK {
+			t.Fatalf("map %d: %d %s", i, code, raw)
+		}
+		var out MapEnvResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		envIDs = append(envIDs, out.ID)
+		if victim == -1 {
+			victim = out.Mapping.GuestHost[0]
+		}
+	}
+	// Exercise every record kind: a failure with repairs, a restore, a
+	// release.
+	if code, raw, _ := doJSON(t, client, "POST", base+hostPath(victim, "fail"), nil); code != http.StatusOK {
+		t.Fatalf("fail host: %d %s", code, raw)
+	}
+	if code, raw, _ := doJSON(t, client, "POST", base+hostPath(victim, "restore"), nil); code != http.StatusNoContent {
+		t.Fatalf("restore host: %d %s", code, raw)
+	}
+	if code, raw, _ := doJSON(t, client, "DELETE", base+"/envs/"+envIDs[2], nil); code != http.StatusNoContent {
+		t.Fatalf("release: %d %s", code, raw)
+	}
+
+	_, residuals1, _ := doJSON(t, client, "GET", base+"/residuals", nil)
+
+	ts1.Close()
+	s1.Close() // drains, snapshots, seals the log
+
+	s2 := New(cfg)
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+	})
+	client2 := ts2.Client()
+	base2 := ts2.URL + "/v1/sessions/" + sid
+
+	_, residuals2, _ := doJSON(t, client2, "GET", base2+"/residuals", nil)
+	if !bytes.Equal(residuals1, residuals2) {
+		t.Errorf("residuals diverge across restart:\n before %s\n after  %s", residuals1, residuals2)
+	}
+	// The released tenant stays released; the surviving tenants keep
+	// their IDs (a release under the old ID resolves to a live mapping).
+	if code, _, _ := doJSON(t, client2, "DELETE", base2+"/envs/"+envIDs[2], nil); code != http.StatusNotFound {
+		t.Fatalf("released env resolves after restart: %d", code)
+	}
+	if code, raw, _ := doJSON(t, client2, "DELETE", base2+"/envs/"+envIDs[1], nil); code != http.StatusNoContent {
+		t.Fatalf("release of recovered env %s: %d %s", envIDs[1], code, raw)
+	}
+	// New work continues: fresh env IDs, fresh session IDs, no reuse.
+	code, raw, _ := doJSON(t, client2, "POST", base2+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(900, 6))})
+	if code != http.StatusOK {
+		t.Fatalf("map after restart: %d %s", code, raw)
+	}
+	var out MapEnvResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range envIDs {
+		if out.ID == id {
+			t.Fatalf("recovered daemon reused env ID %s", id)
+		}
+	}
+	if sid2 := openSession(t, client2, ts2.URL, cs, ""); sid2 == sid {
+		t.Fatalf("recovered daemon reused session ID %s", sid)
+	}
+}
+
+// TestRestartWithoutSnapshot kills the first daemon without a graceful
+// shutdown (no final snapshot): recovery must come entirely from the
+// log. The closed session must stay closed.
+func TestRestartWithoutSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	_, cs := testbed(t)
+	cfg := durableConfig(t, dir)
+
+	s1 := New(cfg)
+	if err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	client := ts1.Client()
+	sid := openSession(t, client, ts1.URL, cs, "")
+	dead := openSession(t, client, ts1.URL, cs, "")
+	code, raw, _ := doJSON(t, client, "POST", ts1.URL+"/v1/sessions/"+sid+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(7, 8))})
+	if code != http.StatusOK {
+		t.Fatalf("map: %d %s", code, raw)
+	}
+	if code, _, _ := doJSON(t, client, "DELETE", ts1.URL+"/v1/sessions/"+dead, nil); code != http.StatusNoContent {
+		t.Fatalf("close session: %d", code)
+	}
+	_, residuals1, _ := doJSON(t, client, "GET", ts1.URL+"/v1/sessions/"+sid+"/residuals", nil)
+	ts1.Close()
+	// No s1.Close(): simulate a kill. Everything acknowledged is already
+	// fsynced, so recovery replays the log alone.
+
+	s2 := New(cfg)
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+		s1.Close()
+	})
+	client2 := ts2.Client()
+	_, residuals2, _ := doJSON(t, client2, "GET", ts2.URL+"/v1/sessions/"+sid+"/residuals", nil)
+	if !bytes.Equal(residuals1, residuals2) {
+		t.Errorf("residuals diverge across kill/restart:\n before %s\n after  %s", residuals1, residuals2)
+	}
+	if code, _, _ := doJSON(t, client2, "GET", ts2.URL+"/v1/sessions/"+dead+"/residuals", nil); code != http.StatusNotFound {
+		t.Fatalf("closed session resolves after restart: %d", code)
+	}
+}
+
+// TestSnapshotLoop lets the background snapshotter run and checks a
+// later recovery comes from the snapshot, not a full-log replay.
+func TestSnapshotLoop(t *testing.T) {
+	dir := t.TempDir()
+	_, cs := testbed(t)
+	cfg := durableConfig(t, dir)
+	cfg.SnapshotInterval = 10 * time.Millisecond
+
+	s1 := New(cfg)
+	if err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	client := ts1.Client()
+	sid := openSession(t, client, ts1.URL, cs, "")
+	code, raw, _ := doJSON(t, client, "POST", ts1.URL+"/v1/sessions/"+sid+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(11, 8))})
+	if code != http.StatusOK {
+		t.Fatalf("map: %d %s", code, raw)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec, err := wal.Scan(dir, wal.Hooks{})
+		if err == nil && rec.Snapshot != nil && len(rec.Snapshot.Sessions) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background snapshot never captured the session")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts1.Close()
+	s1.Close()
+}

@@ -52,6 +52,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -62,6 +63,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/spec"
 	"repro/internal/virtual"
+	"repro/internal/wal"
 )
 
 // Config sizes the daemon. The zero value gets sensible defaults.
@@ -83,6 +85,22 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes bounds request bodies. Defaults to 32 MiB.
 	MaxBodyBytes int64
+	// DataDir enables durability: every mutating operation is logged to
+	// a write-ahead log under this directory before its response is
+	// acknowledged, and Recover rebuilds state from it on startup.
+	// Empty disables durability (state dies with the process).
+	DataDir string
+	// SnapshotInterval is the cadence of periodic full-state snapshots
+	// (which truncate the log). 0 snapshots only on graceful shutdown.
+	// Ignored without DataDir.
+	SnapshotInterval time.Duration
+	// VerifyReplay makes Recover cross-check every recovered session
+	// (incremental objective vs recompute, environment registry vs
+	// active set) before the daemon serves.
+	VerifyReplay bool
+	// Logf receives durability warnings and recovery progress; nil
+	// discards them.
+	Logf func(format string, args ...interface{})
 }
 
 func (c Config) withDefaults() Config {
@@ -128,7 +146,10 @@ type task struct {
 type mapJob struct {
 	sess *session
 	env  *virtual.Env
-	ctx  context.Context
+	// eid is the pre-assigned environment ID — the admission's tag in
+	// the session and the WAL.
+	eid string
+	ctx context.Context
 	// begin counts the attempt, right before mapping starts.
 	begin func()
 	// finish performs the request's bookkeeping (outcome counters,
@@ -151,7 +172,10 @@ type session struct {
 	core       *core.Session
 	overhead   cluster.VMMOverhead
 	mapperName string
-	stddev     *metrics.Gauge
+	// clusterSpec is the cluster as the client described it, kept for
+	// WAL snapshots (a snapshot must be self-contained).
+	clusterSpec spec.ClusterSpec
+	stddev      *metrics.Gauge
 
 	mu      sync.Mutex
 	envs    map[string]*envRecord //hmn:guardedby mu
@@ -175,6 +199,14 @@ type Server struct {
 	sessions    map[string]*session //hmn:guardedby mu
 	nextSession int                 //hmn:guardedby mu
 
+	// wal is the write-ahead log; nil without Config.DataDir. It is set
+	// by Recover before replaying flips to false, and the /v1 readiness
+	// gate keeps every handler out until then.
+	wal       *wal.WAL
+	replaying atomic.Bool
+	snapStop  chan struct{}
+	snapDone  chan struct{}
+
 	mLatency       *metrics.Histogram
 	mRepairLatency *metrics.Histogram
 	mCommitLatency *metrics.Histogram
@@ -186,6 +218,11 @@ type Server struct {
 	mOptimistic    *metrics.Counter
 	mBatches       *metrics.Counter
 	mBatchedEnvs   *metrics.Counter
+
+	mWALRecords      *metrics.Counter
+	mReplayRecords   *metrics.Counter
+	mFsyncLatency    *metrics.Histogram
+	mSnapshotLatency *metrics.Histogram
 }
 
 // New builds a server and starts its worker pool.
@@ -220,7 +257,18 @@ func New(cfg Config) *Server {
 			"Environments currently deployed across all sessions."),
 		mSessions: reg.Gauge("hmnd_active_sessions",
 			"Sessions currently open."),
+		mWALRecords: reg.Counter("hmnd_wal_records_total",
+			"Operation records appended to the write-ahead log."),
+		mReplayRecords: reg.Counter("hmnd_replay_records_total",
+			"Operation records replayed from the log during recovery."),
+		mFsyncLatency: reg.Histogram("hmnd_wal_fsync_seconds",
+			"Wall time of write-ahead log fsyncs (group commits).", nil),
+		mSnapshotLatency: reg.Histogram("hmnd_snapshot_seconds",
+			"Wall time of full-state snapshots (rotate, export, publish, prune).", nil),
 	}
+	// With a data directory the daemon starts in "replaying": the /v1
+	// API answers 503 until Recover installs the recovered sessions.
+	s.replaying.Store(cfg.DataDir != "")
 
 	s.mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
 	s.mux.HandleFunc("DELETE /v1/sessions/{sid}", s.handleCloseSession)
@@ -232,6 +280,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{sid}/links/{edge}/fail", s.handleFailLink)
 	s.mux.HandleFunc("POST /v1/sessions/{sid}/links/{edge}/restore", s.handleRestoreLink)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 
 	// Degradation gauges are computed at scrape time from the live
@@ -267,9 +316,16 @@ func New(cfg Config) *Server {
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
 // Handler returns the daemon's HTTP handler with the per-request
-// timeout applied.
+// timeout applied. While recovery is replaying the log, every /v1 API
+// request is refused with 503 — only /healthz (which reports
+// "replaying") and /metrics answer, so a load balancer can watch the
+// daemon come up without routing traffic at half-rebuilt state.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.replaying.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/v1/healthz" && r.URL.Path != "/metrics" {
+			writeUnavailable(w, "replaying")
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -279,9 +335,12 @@ func (s *Server) Handler() http.Handler {
 
 // Close drains the daemon: new mutating work is refused with 503, every
 // task already admitted runs to completion, and the worker pool exits.
-// Safe to call more than once. Callers shutting down an http.Server
-// should call its Shutdown first so in-flight handlers finish waiting
-// on their queued tasks.
+// With durability enabled, the queue is drained FIRST and a final
+// snapshot is taken after — so queued-but-unacknowledged admissions
+// that committed during the drain are captured, not lost — and the WAL
+// is sealed. Safe to call more than once. Callers shutting down an
+// http.Server should call its Shutdown first so in-flight handlers
+// finish waiting on their queued tasks.
 func (s *Server) Close() {
 	s.admitMu.Lock()
 	if s.draining {
@@ -293,6 +352,18 @@ func (s *Server) Close() {
 	close(s.queue)
 	s.admitMu.Unlock()
 	s.wg.Wait()
+	if s.wal != nil {
+		if s.snapStop != nil {
+			close(s.snapStop)
+			<-s.snapDone
+		}
+		if err := s.writeSnapshot(); err != nil {
+			s.logf("hmnd: shutdown snapshot: %v", err)
+		}
+		if err := s.wal.Close(); err != nil {
+			s.logf("hmnd: wal close: %v", err)
+		}
+	}
 }
 
 // worker drains the admission queue until Close. With BatchSize > 1, a
@@ -364,12 +435,14 @@ func (s *Server) runMapBatch(batch []*task) {
 
 	sess := live[0].mj.sess
 	envs := make([]*virtual.Env, len(live))
+	tags := make([]string, len(live))
 	for i, t := range live {
 		envs[i] = t.mj.env
+		tags[i] = t.mj.eid
 		t.mj.begin()
 	}
 	t0 := time.Now()
-	maps, errs, bst := sess.core.MapBatch(envs)
+	maps, errs, bst := sess.core.MapBatchTagged(envs, tags)
 	dur := time.Since(t0).Seconds()
 	s.mBatches.Inc()
 	s.mBatchedEnvs.Add(uint64(len(live)))
@@ -423,7 +496,14 @@ func (s *Server) enqueue(t *task) error {
 
 // --- handlers ---
 
+// handleHealthz reports readiness: 503 "replaying" while recovery
+// rebuilds state, 503 "draining" during shutdown, 200 "serving"
+// otherwise.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.replaying.Load() {
+		writeError(w, http.StatusServiceUnavailable, "replaying")
+		return
+	}
 	s.admitMu.RLock()
 	draining := s.draining
 	s.admitMu.RUnlock()
@@ -432,7 +512,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintln(w, "serving")
 }
 
 func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
@@ -451,15 +531,9 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	if mapperName == "" {
 		mapperName = "HMN"
 	}
-	var mapper core.Mapper
-	switch mapperName {
-	case "HMN":
-		mapper = &core.HMN{Overhead: overhead}
-	case "HMN-C":
-		mapper = &core.Consolidator{Overhead: overhead}
-	default:
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("unknown mapper %q (want HMN or HMN-C)", mapperName))
+	mapper, err := core.MapperByName(mapperName, overhead)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	cs, err := core.NewSession(c, overhead, mapper)
@@ -476,24 +550,34 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The open record is appended, and the commit hook attached, before
+	// the session becomes visible: no operation can reach the log ahead
+	// of the record that declares its session.
 	s.mu.Lock()
 	s.nextSession++
 	id := fmt.Sprintf("s%d", s.nextSession)
 	sess := &session{
-		id:         id,
-		core:       cs,
-		overhead:   overhead,
-		mapperName: mapperName,
+		id:          id,
+		core:        cs,
+		overhead:    overhead,
+		mapperName:  mapperName,
+		clusterSpec: req.Cluster,
 		stddev: s.reg.Gauge(
 			fmt.Sprintf("hmnd_session_residual_stddev{session=%q}", id),
 			"Stddev of residual CPU per host (the Eq. 10 objective) per session."),
 		envs: make(map[string]*envRecord),
 	}
+	s.attachWAL(sess)
+	s.appendOpenLocked(sess)
 	s.sessions[id] = sess
 	s.mu.Unlock()
 	s.mSessions.Inc()
 	sess.stddev.Set(mapping.Objective(cs.ResidualProc()))
 
+	if err := s.ackBarrier(); err != nil {
+		writeError(w, http.StatusInternalServerError, "durability barrier: "+err.Error())
+		return
+	}
 	writeJSON(w, http.StatusCreated, OpenSessionResponse{
 		ID:     id,
 		Mapper: mapperName,
@@ -540,12 +624,27 @@ func (s *Server) handleMapEnv(w http.ResponseWriter, r *http.Request) {
 	failed := s.mapCounter("failed", sess.mapperName)
 	rejected := s.mapCounter("rejected", sess.mapperName)
 
+	// The environment ID is assigned before the admission runs, because
+	// it is the admission's tag: it rides the WAL record, so a logged
+	// admission the daemon died before acknowledging recovers under the
+	// ID the response would have carried. A failed admission burns the
+	// ID (IDs are not dense).
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", sess.id))
+		return
+	}
+	sess.nextEnv++
+	envID := fmt.Sprintf("e%d", sess.nextEnv)
+	sess.mu.Unlock()
+
 	ctx := r.Context()
 	var (
 		resp   MapEnvResponse
 		mapErr error
 	)
-	mj := &mapJob{sess: sess, env: env, ctx: ctx}
+	mj := &mapJob{sess: sess, env: env, eid: envID, ctx: ctx}
 	mj.begin = func() { attempted.Inc() }
 	mj.cancel = func(err error) {
 		// The client gave up while we sat in the queue: do no work.
@@ -574,8 +673,6 @@ func (s *Server) handleMapEnv(w http.ResponseWriter, r *http.Request) {
 			mapErr = ctx.Err()
 			return
 		}
-		sess.nextEnv++
-		envID := fmt.Sprintf("e%d", sess.nextEnv)
 		sess.envs[envID] = &envRecord{env: env, m: m}
 		sess.mu.Unlock()
 
@@ -602,7 +699,7 @@ func (s *Server) handleMapEnv(w http.ResponseWriter, r *http.Request) {
 		}
 		mj.begin()
 		t0 := time.Now()
-		m, admit, err := sess.core.MapWithStats(env)
+		m, admit, err := sess.core.MapTagged(env, envID)
 		s.mLatency.Observe(time.Since(t0).Seconds())
 		s.mCommitLatency.Observe(admit.CommitSeconds)
 		s.mConflicts.Add(uint64(admit.Conflicts))
@@ -630,6 +727,10 @@ func (s *Server) handleMapEnv(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeError(w, http.StatusConflict, mapErr.Error())
+		return
+	}
+	if err := s.ackBarrier(); err != nil {
+		writeError(w, http.StatusInternalServerError, "durability barrier: "+err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -667,6 +768,10 @@ func (s *Server) handleReleaseEnv(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, relErr.Error())
 		return
 	}
+	if err := s.ackBarrier(); err != nil {
+		writeError(w, http.StatusInternalServerError, "durability barrier: "+err.Error())
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -690,8 +795,16 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 			s.mEnvs.Dec()
 		}
 	}
+	// The close record lands after the teardown releases the hook just
+	// logged, so a replayed log tears the session down the same way
+	// before retiring it.
+	s.appendClose(id)
 	s.mSessions.Dec()
 	s.reg.Unregister(fmt.Sprintf("hmnd_session_residual_stddev{session=%q}", id))
+	if err := s.ackBarrier(); err != nil {
+		writeError(w, http.StatusInternalServerError, "durability barrier: "+err.Error())
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -818,6 +931,10 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request, kind, pathKe
 		}
 		return
 	}
+	if err := s.ackBarrier(); err != nil {
+		writeError(w, http.StatusInternalServerError, "durability barrier: "+err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -858,6 +975,10 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, kind, pat
 		}
 		return
 	}
+	if err := s.ackBarrier(); err != nil {
+		writeError(w, http.StatusInternalServerError, "durability barrier: "+err.Error())
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -894,6 +1015,11 @@ func failureStatus(submitErr, opErr error) (code int, msg string, ok bool) {
 	case errors.Is(opErr, cluster.ErrOverheadExceedsCapacity):
 		// A session/overhead configuration the cluster can never hold.
 		return http.StatusBadRequest, opErr.Error(), false
+	case errors.Is(opErr, core.ErrReplayDiverged):
+		// Replay sentinels never reach a handler in normal operation
+		// (recovery runs before the listener); a stray one is an internal
+		// invariant breach, not a client error.
+		return http.StatusInternalServerError, opErr.Error(), false
 	case errors.Is(opErr, context.DeadlineExceeded), errors.Is(opErr, context.Canceled):
 		return http.StatusServiceUnavailable, "request timed out", false
 	default:

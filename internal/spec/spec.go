@@ -73,6 +73,12 @@ type MappingSpec struct {
 	// LinkPaths[l] is the node sequence of virtual link l's physical
 	// path; a single node marks an intra-host link.
 	LinkPaths [][]int `json:"link_paths"`
+	// LinkEdges[l] is the edge-ID sequence of the same path, one entry
+	// per node pair. Optional: hand-written specs may omit it and
+	// ToMapping resolves nodes to edges (first match). The WAL writes it
+	// so that replay reserves bandwidth on the exact physical links the
+	// live run used — node sequences cannot distinguish parallel links.
+	LinkEdges [][]int `json:"link_edges,omitempty"`
 	// Objective is the Eq. 10 value of the mapping.
 	Objective float64 `json:"objective"`
 }
@@ -160,6 +166,7 @@ func FromMapping(m *mapping.Mapping, overhead cluster.VMMOverhead) MappingSpec {
 	out := MappingSpec{
 		GuestHost: make([]int, len(m.GuestHost)),
 		LinkPaths: make([][]int, len(m.LinkPath)),
+		LinkEdges: make([][]int, len(m.LinkPath)),
 		Objective: m.Objective(overhead),
 	}
 	for g, n := range m.GuestHost {
@@ -171,6 +178,7 @@ func FromMapping(m *mapping.Mapping, overhead cluster.VMMOverhead) MappingSpec {
 			nodes[i] = int(n)
 		}
 		out.LinkPaths[l] = nodes
+		out.LinkEdges[l] = append([]int{}, p.Edges...)
 	}
 	return out
 }
@@ -186,6 +194,9 @@ func (s MappingSpec) ToMapping(c *cluster.Cluster, v *virtual.Env) (*mapping.Map
 	if len(s.LinkPaths) != v.NumLinks() {
 		return nil, fmt.Errorf("spec: mapping has %d path entries for %d links", len(s.LinkPaths), v.NumLinks())
 	}
+	if s.LinkEdges != nil && len(s.LinkEdges) != len(s.LinkPaths) {
+		return nil, fmt.Errorf("spec: mapping has %d edge lists for %d paths", len(s.LinkEdges), len(s.LinkPaths))
+	}
 	m := mapping.New(c, v)
 	for g, n := range s.GuestHost {
 		m.GuestHost[g] = graph.NodeID(n)
@@ -198,6 +209,26 @@ func (s MappingSpec) ToMapping(c *cluster.Cluster, v *virtual.Env) (*mapping.Map
 		p := graph.Path{Nodes: make([]graph.NodeID, len(nodes))}
 		for i, n := range nodes {
 			p.Nodes[i] = graph.NodeID(n)
+		}
+		if s.LinkEdges != nil {
+			// Exact edges recorded (WAL replay): validate each against
+			// its node pair instead of re-resolving.
+			edges := s.LinkEdges[l]
+			if len(edges) != len(nodes)-1 {
+				return nil, fmt.Errorf("spec: link %d has %d edges for %d path nodes", l, len(edges), len(nodes))
+			}
+			for i, eid := range edges {
+				if eid < 0 || eid >= net.NumEdges() {
+					return nil, fmt.Errorf("spec: link %d edge %d out of range", l, eid)
+				}
+				e := net.Edge(eid)
+				if e.Other(p.Nodes[i]) != p.Nodes[i+1] {
+					return nil, fmt.Errorf("spec: link %d edge %d does not join nodes %d-%d", l, eid, nodes[i], nodes[i+1])
+				}
+			}
+			p.Edges = append([]int{}, edges...)
+			m.LinkPath[l] = p
+			continue
 		}
 		for i := 0; i+1 < len(nodes); i++ {
 			eid := -1

@@ -1,0 +1,215 @@
+package wal
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/spec"
+	"repro/internal/virtual"
+)
+
+// This file converts between the live core types and the WAL's on-disk
+// records. The two directions are asymmetric on purpose: the forward
+// direction (RecordFromEvent) captures *effects* — the exact committed
+// mapping, down to the physical edge IDs — and the reverse direction
+// (ReplayRecord) applies those effects through the session's canonical
+// commit funnel without ever re-running the mapper. An optimistic
+// admission commits against residuals no serial re-map would see, so
+// re-deriving mappings at replay time could diverge; re-applying
+// recorded net transactions in recorded order cannot.
+
+// RecordFromEvent converts one commit-hook event into its log record.
+// It runs inside the commit hook — under the session lock — so it only
+// serializes (spec conversions) and allocates; overhead parameterizes
+// the MappingSpec objective.
+func RecordFromEvent(sid string, overhead cluster.VMMOverhead, ev core.Event) *Record {
+	rec := &Record{SID: sid, Index: ev.Index}
+	switch ev.Type {
+	case core.EventAdmit:
+		rec.Kind = KindAdmit
+		rec.Admit = admitRec(*ev.Admit, overhead)
+	case core.EventBatch:
+		rec.Kind = KindBatch
+		rec.Batch = make([]AdmitRec, len(ev.Batch))
+		for i, a := range ev.Batch {
+			rec.Batch[i] = *admitRec(a, overhead)
+		}
+	case core.EventRelease:
+		rec.Kind = KindRelease
+		rec.Release = &ReleaseRec{Seq: ev.ReleaseSeq}
+	case core.EventFail:
+		rec.Kind = KindFail
+		rec.Fail = &FailRec{Kind: ev.Fail.Kind, Target: ev.Fail.Target, Evicted: ev.Fail.Evicted}
+		for _, r := range ev.Fail.Repairs {
+			rr := RepairRec{OldSeq: r.OldSeq, Outcome: r.Outcome.String()}
+			if r.M != nil {
+				env := spec.FromEnv(r.M.Env)
+				m := spec.FromMapping(r.M, overhead)
+				rr.NewSeq, rr.Tag, rr.Env, rr.M = r.NewSeq, r.Tag, &env, &m
+			}
+			rec.Fail.Repairs = append(rec.Fail.Repairs, rr)
+		}
+	case core.EventRestore:
+		rec.Kind = KindRestore
+		rec.Restore = &RestoreRec{Kind: ev.Restore.Kind, Target: ev.Restore.Target}
+	}
+	return rec
+}
+
+func admitRec(a core.AdmitInfo, overhead cluster.VMMOverhead) *AdmitRec {
+	return &AdmitRec{
+		Seq: a.Seq,
+		Tag: a.Tag,
+		Env: spec.FromEnv(a.Env),
+		M:   spec.FromMapping(a.M, overhead),
+	}
+}
+
+// ExportSession captures one session for a snapshot. clusterSpec,
+// mapperName and nextEnv are the server-side facts the session does not
+// know about itself.
+func ExportSession(sid string, clusterSpec spec.ClusterSpec, mapperName string, overhead cluster.VMMOverhead, nextEnv uint64, cs *core.Session) SessionSnap {
+	exp := cs.Export()
+	sn := SessionSnap{
+		SID:     sid,
+		Cluster: clusterSpec,
+		Mapper:  mapperName,
+		Proc:    overhead.Proc,
+		Mem:     overhead.Mem,
+		Stor:    overhead.Stor,
+		NextEnv: nextEnv,
+		NextSeq: exp.NextSeq,
+		OpCount: exp.OpCount,
+		Ledger:  exp.Ledger,
+	}
+	for _, a := range exp.Active {
+		sn.Active = append(sn.Active, ActiveRec{
+			Seq: a.Seq,
+			Tag: a.Tag,
+			Env: spec.FromEnv(a.M.Env),
+			M:   spec.FromMapping(a.M, overhead),
+		})
+	}
+	return sn
+}
+
+// RestoreSnap rebuilds a session from its snapshot entry.
+func RestoreSnap(sn SessionSnap) (*core.Session, *cluster.Cluster, error) {
+	c, err := sn.Cluster.ToCluster()
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: session %s snapshot cluster: %w", sn.SID, err)
+	}
+	overhead := cluster.VMMOverhead{Proc: sn.Proc, Mem: sn.Mem, Stor: sn.Stor}
+	mapper, err := core.MapperByName(sn.Mapper, overhead)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: session %s snapshot: %w", sn.SID, err)
+	}
+	exp := core.SessionExport{
+		Ledger:  sn.Ledger,
+		NextSeq: sn.NextSeq,
+		OpCount: sn.OpCount,
+	}
+	for _, a := range sn.Active {
+		env, err := a.Env.ToEnv()
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: session %s snapshot seq %d: %w", sn.SID, a.Seq, err)
+		}
+		m, err := a.M.ToMapping(c, env)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: session %s snapshot seq %d: %w", sn.SID, a.Seq, err)
+		}
+		exp.Active = append(exp.Active, core.ActiveExport{Seq: a.Seq, Tag: a.Tag, M: m})
+	}
+	cs, err := core.RestoreSession(c, overhead, mapper, exp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: session %s: %w", sn.SID, err)
+	}
+	return cs, c, nil
+}
+
+// OpenSession rebuilds a fresh session from an open record (for
+// sessions born after the last snapshot).
+func OpenSession(rec *Record) (*core.Session, *cluster.Cluster, error) {
+	if rec.Open == nil {
+		return nil, nil, fmt.Errorf("wal: open record for %s has no body", rec.SID)
+	}
+	c, err := rec.Open.Cluster.ToCluster()
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: session %s open record cluster: %w", rec.SID, err)
+	}
+	overhead := cluster.VMMOverhead{Proc: rec.Open.Proc, Mem: rec.Open.Mem, Stor: rec.Open.Stor}
+	mapper, err := core.MapperByName(rec.Open.Mapper, overhead)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: session %s open record: %w", rec.SID, err)
+	}
+	cs, err := core.NewSession(c, overhead, mapper)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: session %s: %w", rec.SID, err)
+	}
+	return cs, c, nil
+}
+
+// ReplayRecord re-applies one operation record against its session.
+// Callers dispatch open/close records themselves (they create and
+// retire sessions) and skip records whose Index is at or below the
+// session's snapshot OpCount.
+func ReplayRecord(cs *core.Session, rec *Record) error {
+	c := cs.Cluster()
+	switch rec.Kind {
+	case KindAdmit:
+		env, m, err := decodeAdmit(c, rec.Admit)
+		if err != nil {
+			return fmt.Errorf("wal: session %s admit seq %d: %w", rec.SID, rec.Admit.Seq, err)
+		}
+		return cs.ReplayAdmit(env, m, rec.Admit.Tag, rec.Admit.Seq)
+	case KindBatch:
+		admits := make([]core.BatchReplayAdmit, 0, len(rec.Batch))
+		for i := range rec.Batch {
+			a := &rec.Batch[i]
+			env, m, err := decodeAdmit(c, a)
+			if err != nil {
+				return fmt.Errorf("wal: session %s batch seq %d: %w", rec.SID, a.Seq, err)
+			}
+			admits = append(admits, core.BatchReplayAdmit{Seq: a.Seq, Tag: a.Tag, Env: env, M: m})
+		}
+		return cs.ReplayBatch(admits)
+	case KindRelease:
+		return cs.ReplayRelease(rec.Release.Seq)
+	case KindFail:
+		repairs := make([]core.ReplayRepair, 0, len(rec.Fail.Repairs))
+		for _, rr := range rec.Fail.Repairs {
+			rep := core.ReplayRepair{OldSeq: rr.OldSeq, NewSeq: rr.NewSeq, Tag: rr.Tag}
+			if rr.M != nil {
+				env, err := rr.Env.ToEnv()
+				if err != nil {
+					return fmt.Errorf("wal: session %s repair of seq %d: %w", rec.SID, rr.OldSeq, err)
+				}
+				m, err := rr.M.ToMapping(c, env)
+				if err != nil {
+					return fmt.Errorf("wal: session %s repair of seq %d: %w", rec.SID, rr.OldSeq, err)
+				}
+				rep.Env, rep.M = env, m
+			}
+			repairs = append(repairs, rep)
+		}
+		return cs.ReplayFail(rec.Fail.Kind, rec.Fail.Target, rec.Fail.Evicted, repairs)
+	case KindRestore:
+		return cs.ReplayRestore(rec.Restore.Kind, rec.Restore.Target)
+	default:
+		return fmt.Errorf("wal: session %s: unknown record kind %q", rec.SID, rec.Kind)
+	}
+}
+
+func decodeAdmit(c *cluster.Cluster, a *AdmitRec) (*virtual.Env, *mapping.Mapping, error) {
+	env, err := a.Env.ToEnv()
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := a.M.ToMapping(c, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	return env, m, nil
+}

@@ -1,0 +1,320 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hooks are the WAL's observation points. All fields are optional; hmnd
+// wires them to metrics (internal/metrics) and to its logger. Hooks run
+// on the calling goroutine and must not call back into the WAL.
+type Hooks struct {
+	// OnAppend runs once per record appended (buffered, not yet
+	// durable).
+	OnAppend func()
+	// OnFsync runs after each fsync with its duration in seconds.
+	OnFsync func(seconds float64)
+	// OnSnapshot runs after each snapshot write with its duration in
+	// seconds.
+	OnSnapshot func(seconds float64)
+	// Logf receives recovery warnings (torn-tail truncation) and
+	// housekeeping notices.
+	Logf func(format string, args ...interface{})
+}
+
+func (h Hooks) logf(format string, args ...interface{}) {
+	if h.Logf != nil {
+		h.Logf(format, args...)
+	}
+}
+
+// segPrefix and segSuffix frame segment file names:
+// wal-<20-digit segment number>.log.
+const (
+	segPrefix = "wal-"
+	segSuffix = ".log"
+)
+
+func segName(n uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, n, segSuffix)
+}
+
+// parseSegName returns the segment number, or false when name is not a
+// segment file.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(digits) != 20 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// log is the append side of the WAL: one active segment file, buffered
+// writes, and group-commit fsync. Appends are cheap (serialize + copy
+// into the bufio writer under the lock); durability is paid by Barrier,
+// where concurrent waiters share one fsync — the first caller through
+// syncMu flushes everything appended so far and everyone queued behind
+// it returns without syncing again.
+type log struct {
+	dir   string
+	hooks Hooks
+
+	mu  sync.Mutex    // guards f, w, seg, appendSeq
+	f   *os.File      //hmn:guardedby mu
+	w   *bufio.Writer //hmn:guardedby mu
+	seg uint64        //hmn:guardedby mu
+	// appendSeq numbers appended records; barrier targets are expressed
+	// in it.
+	appendSeq uint64 //hmn:guardedby mu
+
+	// syncMu serializes fsync. Lock ordering: syncMu before mu — a
+	// barrier holds syncMu while it flushes under mu, then syncs with
+	// only syncMu held so appends continue meanwhile.
+	syncMu    sync.Mutex
+	syncedSeq atomic.Uint64
+}
+
+// openSegment opens segment n for appending, creating it when absent.
+// Callers either hold mu (rotate) or own the log exclusively because it
+// is not yet published (Open).
+//
+//hmn:locked mu
+func (l *log) openSegment(n uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(n)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	l.seg = n
+	return nil
+}
+
+// append serializes rec into the active segment's buffer. The record is
+// NOT durable until a barrier; callers on the ack path follow with
+// Barrier().
+func (l *log) append(rec *Record) error {
+	frame, err := appendFrame(nil, rec)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if _, err := l.w.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.appendSeq++
+	if l.hooks.OnAppend != nil {
+		l.hooks.OnAppend()
+	}
+	return nil
+}
+
+// barrier makes every record appended before the call durable. Group
+// commit: the target is captured first, so a caller that queues behind
+// an in-flight fsync which already covered its records returns without
+// issuing another.
+func (l *log) barrier() error {
+	l.mu.Lock()
+	target := l.appendSeq
+	l.mu.Unlock()
+	if l.syncedSeq.Load() >= target {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.syncedSeq.Load() >= target {
+		return nil
+	}
+	l.mu.Lock()
+	if l.w == nil {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: log is closed")
+	}
+	flushed := l.appendSeq
+	err := l.w.Flush()
+	f := l.f
+	l.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	start := time.Now() //hmn:wallclock
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	if l.hooks.OnFsync != nil {
+		l.hooks.OnFsync(time.Since(start).Seconds()) //hmn:wallclock
+	}
+	l.syncedSeq.Store(flushed)
+	return nil
+}
+
+// rotate seals the active segment (flush, fsync, close) and opens the
+// next one. It returns the sealed segment's number. Holding syncMu for
+// the duration keeps rotation atomic with respect to barriers.
+func (l *log) rotate() (uint64, error) {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if err := l.w.Flush(); err != nil {
+		return 0, fmt.Errorf("wal: flush on rotate: %w", err)
+	}
+	start := time.Now() //hmn:wallclock
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: fsync on rotate: %w", err)
+	}
+	if l.hooks.OnFsync != nil {
+		l.hooks.OnFsync(time.Since(start).Seconds()) //hmn:wallclock
+	}
+	l.syncedSeq.Store(l.appendSeq)
+	if err := l.f.Close(); err != nil {
+		return 0, fmt.Errorf("wal: close segment: %w", err)
+	}
+	sealed := l.seg
+	if err := l.openSegment(sealed + 1); err != nil {
+		return 0, err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return 0, err
+	}
+	return sealed, nil
+}
+
+// close flushes, fsyncs and closes the active segment.
+func (l *log) close() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return nil
+	}
+	flushErr := l.w.Flush()
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	l.w, l.f = nil, nil
+	for _, err := range []error{flushErr, syncErr, closeErr} {
+		if err != nil {
+			return fmt.Errorf("wal: close: %w", err)
+		}
+	}
+	return nil
+}
+
+// listSegments returns the data directory's segment numbers, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if n, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// readSegment decodes every record in segment n. final marks the log's
+// last segment: there, an invalid frame with nothing after it is a torn
+// tail — when repair is set the segment is truncated to the last valid
+// record, and either way the number of dropped bytes is returned. An
+// invalid frame in a non-final segment, or a record that fails to
+// decode anywhere, is corruption and returns an error.
+func readSegment(dir string, n uint64, final, repair bool, hooks Hooks) ([]Record, int64, error) {
+	path := filepath.Join(dir, segName(n))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: read segment: %w", err)
+	}
+	var recs []Record
+	off := 0
+	for {
+		rec, next, err := readFrame(buf, off)
+		if err == nil {
+			recs = append(recs, *rec)
+			off = next
+			continue
+		}
+		if errors.Is(err, io.EOF) {
+			return recs, 0, nil
+		}
+		torn, ok := err.(errTorn)
+		if !ok || !final {
+			return nil, 0, fmt.Errorf("wal: segment %s at offset %d: %w", segName(n), off, err)
+		}
+		// Torn tail on the final segment: the crash interrupted the last
+		// write. Truncate to the last valid record and carry on — every
+		// record past this point was never acknowledged (acks barrier
+		// first), so dropping the tail loses nothing a client was
+		// promised.
+		dropped := int64(len(buf) - off)
+		if !repair {
+			hooks.logf("wal: torn tail in %s: %d bytes after offset %d (%s)",
+				segName(n), dropped, off, torn.reason)
+			return recs, dropped, nil
+		}
+		hooks.logf("wal: truncating torn tail of %s: %d bytes after offset %d (%s)",
+			segName(n), dropped, off, torn.reason)
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return nil, 0, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := syncFile(path); err != nil {
+			return nil, 0, err
+		}
+		return recs, dropped, nil
+	}
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// syncFile fsyncs one file by path.
+func syncFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: open for sync: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+// Package wal is hmnd's durability layer: a length-prefixed,
+// CRC-checksummed, fsync-batched write-ahead log of the deterministic
+// session operations (admissions, releases, failures, restores), plus
+// periodic full-state snapshots. Because every session commit funnels
+// through one canonical application path (core.Session.commitTxnLocked;
+// see internal/core/events.go), replaying the logged operation sequence
+// against a restored snapshot reproduces the ledger's residual vectors
+// bit-for-bit — durability reduces to serializing the sequence.
+//
+// On-disk layout, inside the data directory:
+//
+//	wal-00000000000000000001.log   log segments, ascending
+//	wal-00000000000000000002.log
+//	snapshot.json                  latest snapshot (atomic write-rename)
+//
+// Each segment is a stream of frames:
+//
+//	[u32le payload length][u32le CRC-32C of payload][payload]
+//
+// where the payload is one JSON-encoded Record. A torn tail — a partial
+// frame or a checksum mismatch with nothing valid after it in the final
+// segment — is truncated on open with a warning; an invalid frame
+// anywhere else is corruption and open refuses. The snapshot protocol
+// rotates to a fresh segment first, exports every session, writes the
+// snapshot to a temporary file, renames it over the old one (fsyncing
+// the directory), and only then deletes the segments the rotation
+// sealed. Recovery therefore always sees a snapshot plus a log suffix;
+// records whose per-session operation index is at or below the
+// snapshot's recorded index are skipped as already applied.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/spec"
+)
+
+// Record kinds. Session-lifecycle records (open, close) have no
+// operation index and replay idempotently by session-ID existence;
+// operation records carry the session's per-operation index (see
+// core.Event.Index) so recovery can line a log suffix up against a
+// snapshot boundary.
+const (
+	// KindOpen declares a session: its ID, cluster, mapper and overhead.
+	KindOpen = "open"
+	// KindClose retires a session.
+	KindClose = "close"
+	// KindAdmit is one committed admission.
+	KindAdmit = "admit"
+	// KindBatch is one MapBatch commit pass: several admissions as one
+	// atomic entry.
+	KindBatch = "batch"
+	// KindRelease is one environment teardown.
+	KindRelease = "release"
+	// KindFail is a host failure or link cut with its evictions and
+	// (when the repair engine ran) the repair outcomes.
+	KindFail = "fail"
+	// KindRestore is a host or link readmission.
+	KindRestore = "restore"
+)
+
+// Record is one logged operation. Exactly one payload field is set,
+// according to Kind.
+type Record struct {
+	// Kind discriminates the payload.
+	Kind string `json:"kind"`
+	// SID is the session the record belongs to.
+	SID string `json:"sid"`
+	// Index is the session's operation index for operation records
+	// (admit, batch, release, fail, restore); 0 for open and close.
+	Index uint64 `json:"index,omitempty"`
+
+	Open    *OpenRec    `json:"open,omitempty"`
+	Admit   *AdmitRec   `json:"admit,omitempty"`
+	Batch   []AdmitRec  `json:"batch,omitempty"`
+	Release *ReleaseRec `json:"release,omitempty"`
+	Fail    *FailRec    `json:"fail,omitempty"`
+	Restore *RestoreRec `json:"restore,omitempty"`
+}
+
+// OpenRec declares a session's immutable configuration: everything a
+// recovering daemon needs to rebuild the session from scratch when no
+// snapshot covers it.
+type OpenRec struct {
+	Cluster spec.ClusterSpec `json:"cluster"`
+	Mapper  string           `json:"mapper"`
+	Proc    float64          `json:"overhead_proc"`
+	Mem     int64            `json:"overhead_mem"`
+	Stor    float64          `json:"overhead_stor"`
+}
+
+// AdmitRec is one committed admission: the environment, the mapping the
+// session committed (its effect, not a recipe — replay must not re-run
+// the mapper, because optimistic admissions commit against residuals a
+// serial re-map would never see), the sequence number it received and
+// the caller tag (hmnd's environment ID).
+type AdmitRec struct {
+	Seq uint64           `json:"seq"`
+	Tag string           `json:"tag,omitempty"`
+	Env spec.EnvSpec     `json:"env"`
+	M   spec.MappingSpec `json:"mapping"`
+}
+
+// ReleaseRec tears one admission down.
+type ReleaseRec struct {
+	Seq uint64 `json:"seq"`
+}
+
+// FailRec is a host failure or link cut. Evicted lists the admission
+// sequence numbers the failure evicted, in admission order — replay
+// verifies it re-derives the same set. Repairs, present when the
+// failure ran through FailHostAndRepair/FailLinkAndRepair, record each
+// eviction's fate in order.
+type FailRec struct {
+	Kind    string      `json:"fail_kind"`
+	Target  int         `json:"target"`
+	Evicted []uint64    `json:"evicted,omitempty"`
+	Repairs []RepairRec `json:"repairs,omitempty"`
+}
+
+// RepairRec is the fate of one evicted environment: the replacement
+// mapping and its new sequence number, or outcome "unrecoverable" with
+// no replacement.
+type RepairRec struct {
+	OldSeq  uint64            `json:"old_seq"`
+	Outcome string            `json:"outcome"`
+	NewSeq  uint64            `json:"new_seq,omitempty"`
+	Tag     string            `json:"tag,omitempty"`
+	Env     *spec.EnvSpec     `json:"env,omitempty"`
+	M       *spec.MappingSpec `json:"mapping,omitempty"`
+}
+
+// RestoreRec readmits a failed host or cut link.
+type RestoreRec struct {
+	Kind   string `json:"restore_kind"`
+	Target int    `json:"target"`
+}
+
+// castagnoli is the CRC-32C table; Castagnoli's polynomial has hardware
+// support on amd64/arm64, and the checksum only guards torn writes, not
+// adversaries.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is the fixed prefix of every frame: payload length
+// plus checksum, both little-endian u32.
+const frameHeaderSize = 8
+
+// maxFrameSize bounds a single record. A frame claiming more is treated
+// as corruption rather than an allocation: a torn length prefix can
+// decode to anything.
+const maxFrameSize = 64 << 20
+
+// appendFrame encodes rec and appends its frame to buf, returning the
+// extended slice.
+func appendFrame(buf []byte, rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return buf, fmt.Errorf("wal: encode %s record: %w", rec.Kind, err)
+	}
+	if len(payload) > maxFrameSize {
+		return buf, fmt.Errorf("wal: %s record is %d bytes (limit %d)", rec.Kind, len(payload), maxFrameSize)
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// errTorn marks an invalid frame: a partial header, a length beyond the
+// remaining bytes or the frame cap, or a checksum mismatch. The caller
+// decides whether it is a recoverable torn tail (final segment, nothing
+// after it) or corruption.
+type errTorn struct{ reason string }
+
+func (e errTorn) Error() string { return "wal: invalid frame: " + e.reason }
+
+// readFrame decodes the frame starting at buf[off]. It returns the
+// record and the offset of the next frame, or an errTorn describing why
+// the bytes at off are not a valid frame. io.EOF signals a clean end.
+func readFrame(buf []byte, off int) (*Record, int, error) {
+	if off == len(buf) {
+		return nil, off, io.EOF
+	}
+	if len(buf)-off < frameHeaderSize {
+		return nil, off, errTorn{fmt.Sprintf("%d trailing bytes, header needs %d", len(buf)-off, frameHeaderSize)}
+	}
+	n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+	sum := binary.LittleEndian.Uint32(buf[off+4 : off+8])
+	if n > maxFrameSize {
+		return nil, off, errTorn{fmt.Sprintf("frame claims %d bytes (limit %d)", n, maxFrameSize)}
+	}
+	if len(buf)-off-frameHeaderSize < n {
+		return nil, off, errTorn{fmt.Sprintf("frame claims %d bytes, %d remain", n, len(buf)-off-frameHeaderSize)}
+	}
+	payload := buf[off+frameHeaderSize : off+frameHeaderSize+n]
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return nil, off, errTorn{fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", sum, got)}
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		// The checksum matched, so these are the bytes that were
+		// written: a decode failure is corruption at write time, not a
+		// torn tail.
+		return nil, off, fmt.Errorf("wal: decode record: %w", err)
+	}
+	return &rec, off + frameHeaderSize + n, nil
+}

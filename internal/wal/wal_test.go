@@ -1,0 +1,578 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/topology"
+	"repro/internal/virtual"
+	"repro/internal/workload"
+)
+
+const testSID = "s1"
+
+// testCluster is a 12-host 4x3 torus drawn from the paper's capacity
+// distribution — small enough for many full-recovery cycles per test.
+func testCluster(t *testing.T) (*cluster.Cluster, spec.ClusterSpec) {
+	t.Helper()
+	p := workload.PaperClusterParams()
+	p.Hosts = 12
+	specs := workload.GenerateHosts(p, rand.New(rand.NewSource(1)))
+	c, err := topology.Torus2D(specs, 4, 3, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, spec.FromCluster(c)
+}
+
+func testEnv(seed int64) *virtual.Env {
+	rng := rand.New(rand.NewSource(seed))
+	return workload.GenerateEnv(workload.HighLevelParams(2+int(seed%4), 0.05), rng)
+}
+
+func testHooks(t *testing.T) Hooks {
+	return Hooks{Logf: t.Logf}
+}
+
+// loggedSession opens a fresh session wired to w the way the daemon
+// does: an open record first, then a commit hook appending one record
+// per committed operation.
+func loggedSession(t *testing.T, w *WAL, c *cluster.Cluster, cs spec.ClusterSpec) *core.Session {
+	t.Helper()
+	s, err := core.NewSession(c, cluster.VMMOverhead{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{Kind: KindOpen, SID: testSID, Open: &OpenRec{Cluster: cs}}
+	if err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetCommitHook(func(ev core.Event) {
+		if err := w.Append(RecordFromEvent(testSID, cluster.VMMOverhead{}, ev)); err != nil {
+			t.Errorf("append: %v", err)
+		}
+	})
+	return s
+}
+
+// applyOp applies operation i of the deterministic chaos schedule: a
+// mix of single admissions, batches, releases of the oldest tenant, and
+// host fail/repair/restore pairs. The schedule is a pure function of i
+// and the session state, so a reference run and a crash-recovered run
+// fed the same indices perform identical operations.
+func applyOp(t *testing.T, s *core.Session, c *cluster.Cluster, i int) {
+	t.Helper()
+	hosts := c.HostNodes()
+	switch i % 8 {
+	case 3:
+		h := hosts[(i*7)%len(hosts)]
+		if _, err := s.FailHostAndRepair(h); err != nil && !errors.Is(err, core.ErrAlreadyFailed) {
+			t.Fatalf("op %d fail host: %v", i, err)
+		}
+		return
+	case 4:
+		// Restore whatever op i-1 failed (same index arithmetic).
+		h := hosts[((i-1)*7)%len(hosts)]
+		if err := s.RestoreHost(h); err != nil && !errors.Is(err, core.ErrNotFailed) {
+			t.Fatalf("op %d restore host: %v", i, err)
+		}
+		return
+	case 5:
+		if exp := s.Export(); len(exp.Active) > 0 {
+			if err := s.Release(exp.Active[0].M); err != nil {
+				t.Fatalf("op %d release: %v", i, err)
+			}
+			return
+		}
+	case 6:
+		envs := []*virtual.Env{testEnv(int64(1000 + i)), testEnv(int64(2000 + i))}
+		tags := []string{fmt.Sprintf("e%d-a", i), fmt.Sprintf("e%d-b", i)}
+		s.MapBatchTagged(envs, tags)
+		return
+	}
+	if _, _, err := s.MapTagged(testEnv(int64(i)), fmt.Sprintf("e%d", i)); err != nil &&
+		!errors.Is(err, core.ErrNoHostFits) && !errors.Is(err, core.ErrNoPath) {
+		t.Fatalf("op %d map: %v", i, err)
+	}
+}
+
+// ledgerJSON is the byte-identity witness: Go's float64 JSON encoding
+// is the shortest round-trip representation, so equal bytes means
+// bit-equal residual vectors.
+func ledgerJSON(t *testing.T, s *core.Session) []byte {
+	t.Helper()
+	raw, err := json.Marshal(s.Export().Ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func activeSummary(s *core.Session) []string {
+	exp := s.Export()
+	out := make([]string, 0, len(exp.Active))
+	for _, a := range exp.Active {
+		out = append(out, fmt.Sprintf("%d:%s", a.Seq, a.Tag))
+	}
+	return out
+}
+
+// rebuild replays a Recovered the way the daemon does: snapshot
+// sessions first, then the log suffix with the per-session operation
+// boundary skip.
+func rebuild(t *testing.T, rec *Recovered) map[string]*core.Session {
+	t.Helper()
+	sessions := make(map[string]*core.Session)
+	boundary := make(map[string]uint64)
+	if snap := rec.Snapshot; snap != nil {
+		for _, sn := range snap.Sessions {
+			cs, _, err := RestoreSnap(sn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions[sn.SID] = cs
+			boundary[sn.SID] = sn.OpCount
+		}
+	}
+	for i := range rec.Records {
+		r := &rec.Records[i]
+		switch r.Kind {
+		case KindOpen:
+			if _, ok := sessions[r.SID]; ok {
+				continue
+			}
+			cs, _, err := OpenSession(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions[r.SID] = cs
+		case KindClose:
+			delete(sessions, r.SID)
+		default:
+			cs, ok := sessions[r.SID]
+			if !ok {
+				t.Fatalf("record %d names unknown session %s", i, r.SID)
+			}
+			if r.Index <= boundary[r.SID] {
+				continue
+			}
+			if err := ReplayRecord(cs, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return sessions
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Kind: KindOpen, SID: "a", Open: &OpenRec{Mapper: "HMN"}},
+		{Kind: KindRelease, SID: "a", Index: 7, Release: &ReleaseRec{Seq: 3}},
+		{Kind: KindClose, SID: "a", Index: 8},
+	}
+	var buf []byte
+	for i := range recs {
+		var err error
+		buf, err = appendFrame(buf, &recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	off := 0
+	for i := range recs {
+		rec, next, err := readFrame(buf, off)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(*rec, recs[i]) {
+			t.Fatalf("frame %d: got %+v want %+v", i, *rec, recs[i])
+		}
+		off = next
+	}
+	if _, _, err := readFrame(buf, off); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+
+	// A frame cut short is torn, not EOF.
+	if _, _, err := readFrame(buf[:len(buf)-3], 0); err != nil {
+		t.Fatalf("prefix frames should still read: %v", err)
+	}
+	_, next, _ := readFrame(buf, 0)
+	_, next2, _ := readFrame(buf, next)
+	if _, _, err := readFrame(buf[:len(buf)-3], next2); !isTorn(err) {
+		t.Fatalf("want torn tail, got %v", err)
+	}
+
+	// A flipped payload byte fails the checksum.
+	bad := append([]byte(nil), buf...)
+	bad[frameHeaderSize+1] ^= 0x40
+	if _, _, err := readFrame(bad, 0); !isTorn(err) {
+		t.Fatalf("want checksum failure, got %v", err)
+	}
+}
+
+func isTorn(err error) bool {
+	var torn errTorn
+	return errors.As(err, &torn)
+}
+
+// TestTornTailTruncated crashes mid-write: a partial frame lands at the
+// end of the final segment. Open must keep every whole record, truncate
+// the tail once, and report clean on the next recovery.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(dir, testHooks(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(&Record{Kind: KindRelease, SID: testSID, Index: uint64(i + 1), Release: &ReleaseRec{Seq: uint64(i + 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn in-flight write.
+	frame, err := appendFrame(nil, &Record{Kind: KindClose, SID: testSID, Index: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	last := filepath.Join(dir, segName(segs[len(segs)-1]))
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := frame[:len(frame)-5]
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, rec, err := Open(dir, testHooks(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(rec.Records))
+	}
+	if rec.TruncatedBytes != int64(len(torn)) {
+		t.Fatalf("truncated %d bytes, want %d", rec.TruncatedBytes, len(torn))
+	}
+
+	// The truncation is repaired on disk: a second recovery is clean.
+	w3, rec2, err := Open(dir, testHooks(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if rec2.TruncatedBytes != 0 || len(rec2.Records) != 3 {
+		t.Fatalf("second recovery: %d records, %d truncated bytes", len(rec2.Records), rec2.TruncatedBytes)
+	}
+}
+
+// TestCorruptSealedSegmentRejected flips one byte in a sealed (non-
+// final) segment: that is corruption, not a torn tail, and recovery
+// must refuse rather than silently drop acknowledged records.
+func TestCorruptSealedSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(dir, testHooks(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(&Record{Kind: KindRelease, SID: testSID, Index: 1, Release: &ReleaseRec{Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.log.rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(&Record{Kind: KindRelease, SID: testSID, Index: 2, Release: &ReleaseRec{Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	sealed := filepath.Join(dir, segName(segs[0]))
+	buf, err := os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[frameHeaderSize+1] ^= 0x40
+	if err := os.WriteFile(sealed, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(dir, testHooks(t)); err == nil {
+		t.Fatal("Open accepted a corrupt sealed segment")
+	}
+	if _, err := Scan(dir, testHooks(t)); err == nil {
+		t.Fatal("Scan accepted a corrupt sealed segment")
+	}
+}
+
+// TestScanReportsWithoutRepair points Scan at a directory with a torn
+// tail and checks it reports the damage without touching the file (the
+// hmnwal contract: inspection never destroys evidence).
+func TestScanReportsWithoutRepair(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(dir, testHooks(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(&Record{Kind: KindRelease, SID: testSID, Index: 1, Release: &ReleaseRec{Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	last := filepath.Join(dir, segName(segs[len(segs)-1]))
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Scan(dir, testHooks(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TruncatedBytes != 3 || len(rec.Records) != 1 {
+		t.Fatalf("scan: %d records, %d truncated bytes", len(rec.Records), rec.TruncatedBytes)
+	}
+	after, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Fatalf("Scan changed the segment size: %d -> %d", before.Size(), after.Size())
+	}
+}
+
+// TestSnapshotSuffixEquivalence drives a session, snapshots mid-stream,
+// keeps going, and recovers from snapshot+suffix: the recovered session
+// must match the live one bit for bit (residual ledger), including its
+// active set, sequence counter and operation counter.
+func TestSnapshotSuffixEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	c, cs := testCluster(t)
+	w, _, err := Open(dir, testHooks(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := loggedSession(t, w, c, cs)
+	for i := 0; i < 12; i++ {
+		applyOp(t, s, c, i)
+	}
+	if err := w.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	err = w.WriteSnapshot(func() ([]SessionSnap, error) {
+		return []SessionSnap{ExportSession(testSID, cs, "", cluster.VMMOverhead{}, 0, s)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 12; i < 20; i++ {
+		applyOp(t, s, c, i)
+	}
+	if err := w.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rec, err := Open(dir, testHooks(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.Snapshot == nil {
+		t.Fatal("no snapshot recovered")
+	}
+	s2, ok := rebuild(t, rec)[testSID]
+	if !ok {
+		t.Fatal("session not recovered")
+	}
+
+	if got, want := ledgerJSON(t, s2), ledgerJSON(t, s); !bytes.Equal(got, want) {
+		t.Errorf("recovered ledger diverges:\n got %s\nwant %s", got, want)
+	}
+	if got, want := activeSummary(s2), activeSummary(s); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered active set %v, want %v", got, want)
+	}
+	le, re := s.Export(), s2.Export()
+	if le.NextSeq != re.NextSeq || le.OpCount != re.OpCount {
+		t.Errorf("counters diverge: live seq=%d op=%d, recovered seq=%d op=%d",
+			le.NextSeq, le.OpCount, re.NextSeq, re.OpCount)
+	}
+}
+
+// TestChaosKillRestart is the crash harness: at each crash point the
+// daemon-side session is killed (everything acknowledged is on disk,
+// plus a torn partial frame from the in-flight write), recovered from
+// snapshot+log, and driven through the rest of the schedule. The final
+// ledger must be byte-identical to an uninterrupted reference run — the
+// recovery produced the same state the crash interrupted, down to the
+// floating-point bit pattern.
+func TestChaosKillRestart(t *testing.T) {
+	const nOps = 36
+	c, cs := testCluster(t)
+
+	ref, err := core.NewSession(c, cluster.VMMOverhead{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nOps; i++ {
+		applyOp(t, ref, c, i)
+	}
+	wantLedger := ledgerJSON(t, ref)
+	wantActive := activeSummary(ref)
+
+	for _, crash := range []int{0, 5, 13, 27, 35} {
+		t.Run(fmt.Sprintf("crash=%d", crash), func(t *testing.T) {
+			dir := t.TempDir()
+			w, _, err := Open(dir, testHooks(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := loggedSession(t, w, c, cs)
+			for i := 0; i < crash; i++ {
+				applyOp(t, s, c, i)
+				if err := w.Barrier(); err != nil { // the per-request ack
+					t.Fatal(err)
+				}
+				if crash >= 4 && i == crash/2 {
+					err := w.WriteSnapshot(func() ([]SessionSnap, error) {
+						return []SessionSnap{ExportSession(testSID, cs, "", cluster.VMMOverhead{}, 0, s)}, nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Kill: everything acknowledged is synced; the write that was
+			// in flight lands as a torn partial frame.
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			frame, err := appendFrame(nil, &Record{Kind: KindClose, SID: testSID, Index: 999})
+			if err != nil {
+				t.Fatal(err)
+			}
+			segs, _ := listSegments(dir)
+			last := filepath.Join(dir, segName(segs[len(segs)-1]))
+			f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(frame[:len(frame)-4]); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			w2, rec, err := Open(dir, testHooks(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w2.Close()
+			if rec.TruncatedBytes == 0 {
+				t.Fatal("torn tail not detected")
+			}
+			s2, ok := rebuild(t, rec)[testSID]
+			if !ok {
+				t.Fatal("session not recovered")
+			}
+			for i := crash; i < nOps; i++ {
+				applyOp(t, s2, c, i)
+			}
+			if got := ledgerJSON(t, s2); !bytes.Equal(got, wantLedger) {
+				t.Errorf("ledger diverges from uninterrupted run:\n got %s\nwant %s", got, wantLedger)
+			}
+			if got := activeSummary(s2); !reflect.DeepEqual(got, wantActive) {
+				t.Errorf("active set %v, want %v", got, wantActive)
+			}
+		})
+	}
+}
+
+// TestSnapshotPrunesSegments checks the log is actually bounded: after
+// a snapshot the sealed segments are gone and recovery reads only the
+// snapshot plus the fresh suffix.
+func TestSnapshotPrunesSegments(t *testing.T) {
+	dir := t.TempDir()
+	c, cs := testCluster(t)
+	w, _, err := Open(dir, testHooks(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := loggedSession(t, w, c, cs)
+	for i := 0; i < 8; i++ {
+		applyOp(t, s, c, i)
+	}
+	if err := w.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	err = w.WriteSnapshot(func() ([]SessionSnap, error) {
+		return []SessionSnap{ExportSession(testSID, cs, "", cluster.VMMOverhead{}, 0, s)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("want exactly the fresh segment after snapshot, have %v", segs)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, rec, err := Open(dir, testHooks(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.Snapshot == nil || len(rec.Records) != 0 {
+		t.Fatalf("recovery after snapshot: snapshot=%v records=%d", rec.Snapshot != nil, len(rec.Records))
+	}
+}
