@@ -63,8 +63,9 @@ func (s *Server) attachWAL(sess *session) {
 	sess.core.SetCommitHook(func(ev core.Event) {
 		if err := s.wal.Append(wal.RecordFromEvent(sid, overhead, ev)); err != nil {
 			// The operation is already committed in memory and cannot be
-			// undone here; the barrier on the ack path will fail too, so
-			// the client is not told the operation is durable.
+			// undone here; a failed append faults the log permanently, so
+			// the ack-path barrier fails too and no client is ever told
+			// the lost operation is durable.
 			s.logf("hmnd: wal append (session %s): %v", sid, err)
 		}
 	})
@@ -129,6 +130,18 @@ func (s *Server) Recover() error {
 		s.logf("hmnd: recovery truncated a torn log tail (%d bytes); the records were never acknowledged", recovered.TruncatedBytes)
 	}
 
+	// maxSession tracks the highest session ordinal the directory has
+	// ever named — snapshotted, opened, or closed — so a restarted
+	// daemon never reuses a session ID. A reused ID would alias the
+	// retired session's snapshot boundary at the *next* recovery and
+	// silently swallow the new session's low-index records.
+	maxSession := 0
+	noteSID := func(sid string) {
+		if n, ok := sessionOrdinal(sid); ok && n > maxSession {
+			maxSession = n
+		}
+	}
+
 	// Phase 1: sessions from the snapshot, each restored at its own
 	// operation boundary.
 	restoring := make(map[string]*session)
@@ -144,6 +157,7 @@ func (s *Server) Recover() error {
 			sess.nextEnv = int(sn.NextEnv)
 			restoring[sn.SID] = sess
 			boundary[sn.SID] = sn.OpCount
+			noteSID(sn.SID)
 		}
 	}
 
@@ -153,6 +167,7 @@ func (s *Server) Recover() error {
 	// records for unknown ones are idempotent no-ops.
 	for i := range recovered.Records {
 		rec := &recovered.Records[i]
+		noteSID(rec.SID)
 		switch rec.Kind {
 		case wal.KindOpen:
 			if restoring[rec.SID] != nil {
@@ -167,7 +182,12 @@ func (s *Server) Recover() error {
 			restoring[rec.SID].overhead.Mem = rec.Open.Mem
 			restoring[rec.SID].overhead.Stor = rec.Open.Stor
 		case wal.KindClose:
+			// The boundary entry must die with the session: a later open
+			// record for the same SID starts a fresh session at index 0,
+			// and a stale boundary would skip its records as if the old
+			// snapshot had covered them.
 			delete(restoring, rec.SID)
+			delete(boundary, rec.SID)
 		default:
 			sess := restoring[rec.SID]
 			if sess == nil {
@@ -200,6 +220,13 @@ func (s *Server) Recover() error {
 				continue
 			}
 			sess.envs[a.Tag] = &envRecord{env: a.M.Env, m: a.M}
+			// Belt and braces on top of the snapshotted NextEnv and the
+			// replayed-record bumps: no live environment's ID is ever
+			// handed out again, even against a snapshot whose counter
+			// lagged its active set.
+			if n, ok := envOrdinal(a.Tag); ok && n > sess.nextEnv {
+				sess.nextEnv = n
+			}
 		}
 		totalEnvs += len(sess.envs)
 		if s.cfg.VerifyReplay {
@@ -211,11 +238,13 @@ func (s *Server) Recover() error {
 		sess.stddev.Set(mapping.Objective(sess.core.ResidualProc()))
 		s.mu.Lock()
 		s.sessions[sid] = sess
-		if n, ok := sessionOrdinal(sid); ok && n > s.nextSession {
-			s.nextSession = n
-		}
 		s.mu.Unlock()
 	}
+	s.mu.Lock()
+	if maxSession > s.nextSession {
+		s.nextSession = maxSession
+	}
+	s.mu.Unlock()
 	s.mSessions.Set(float64(len(ids)))
 	s.mEnvs.Set(float64(totalEnvs))
 	s.logf("hmnd: recovered %d sessions, %d environments, replayed %d records",
@@ -323,14 +352,20 @@ func (s *Server) exportAll() ([]wal.SessionSnap, error) {
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
 	out := make([]wal.SessionSnap, 0, len(sessions))
 	for _, sess := range sessions {
+		// The export runs under sess.mu so NextEnv and the core state are
+		// one consistent cut: an admission assigns its environment ID
+		// under sess.mu *before* it commits in core, so any admission the
+		// core export captures already bumped the counter we snapshot.
+		// (Lock order is sess.mu → core's lock; the commit hook, which
+		// runs under core's lock, never takes sess.mu.)
 		sess.mu.Lock()
-		nextEnv := sess.nextEnv
-		closed := sess.closed
-		sess.mu.Unlock()
-		if closed {
+		if sess.closed {
+			sess.mu.Unlock()
 			continue
 		}
-		out = append(out, wal.ExportSession(sess.id, sess.clusterSpec, sess.mapperName, sess.overhead, uint64(nextEnv), sess.core))
+		sn := wal.ExportSession(sess.id, sess.clusterSpec, sess.mapperName, sess.overhead, uint64(sess.nextEnv), sess.core)
+		sess.mu.Unlock()
+		out = append(out, sn)
 	}
 	return out, nil
 }

@@ -260,6 +260,275 @@ func TestRestartWithoutSnapshot(t *testing.T) {
 	}
 }
 
+// TestClosedSessionIDNotReusedAcrossRestarts pins the recovery
+// session-ID invariant: a session closed before a crash keeps its ID
+// retired forever. A reused ID would alias the retired session's
+// snapshot boundary at the next recovery, and the new session's
+// low-index records would be skipped as if the old snapshot had covered
+// them — acknowledged admissions silently vanishing.
+func TestClosedSessionIDNotReusedAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	_, cs := testbed(t)
+	cfg := durableConfig(t, dir)
+
+	// Gen 1: a surviving session plus a victim that is snapshotted with
+	// operations and closed AFTER the snapshot, so the victim's boundary
+	// entry and its close record are both live at the next recovery.
+	s1 := New(cfg)
+	if err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	client := ts1.Client()
+	keeper := openSession(t, client, ts1.URL, cs, "")
+	victim := openSession(t, client, ts1.URL, cs, "")
+	if code, raw, _ := doJSON(t, client, "POST", ts1.URL+"/v1/sessions/"+victim+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(21, 8))}); code != http.StatusOK {
+		t.Fatalf("map into victim: %d %s", code, raw)
+	}
+	if err := s1.writeSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := doJSON(t, client, "DELETE", ts1.URL+"/v1/sessions/"+victim, nil); code != http.StatusNoContent {
+		t.Fatalf("close victim: %d", code)
+	}
+	ts1.Close() // kill: no graceful shutdown, no second snapshot
+
+	// Gen 2: the victim's ID must stay retired, and work admitted into
+	// its replacement must survive ANOTHER restart even though the
+	// replacement's operation indices start back at 1.
+	s2 := New(cfg)
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	client2 := ts2.Client()
+	fresh := openSession(t, client2, ts2.URL, cs, "")
+	if fresh == victim || fresh == keeper {
+		t.Fatalf("recovered daemon reused session ID %s (victim %s, keeper %s)", fresh, victim, keeper)
+	}
+	code, raw, _ := doJSON(t, client2, "POST", ts2.URL+"/v1/sessions/"+fresh+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(22, 8))})
+	if code != http.StatusOK {
+		t.Fatalf("map into fresh session: %d %s", code, raw)
+	}
+	var out MapEnvResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	ts2.Close() // kill again
+
+	// Gen 3: the acknowledged admission from gen 2 must have replayed.
+	s3 := New(cfg)
+	if err := s3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts3 := httptest.NewServer(s3.Handler())
+	t.Cleanup(func() {
+		ts3.Close()
+		s3.Close()
+		s2.Close()
+		s1.Close()
+	})
+	client3 := ts3.Client()
+	if code, raw, _ := doJSON(t, client3, "DELETE", ts3.URL+"/v1/sessions/"+fresh+"/envs/"+out.ID, nil); code != http.StatusNoContent {
+		t.Fatalf("acknowledged admission %s/%s lost across restart: %d %s", fresh, out.ID, code, raw)
+	}
+	if code, _, _ := doJSON(t, client3, "GET", ts3.URL+"/v1/sessions/"+victim+"/residuals", nil); code != http.StatusNotFound {
+		t.Fatalf("closed session %s resolves after restarts: %d", victim, code)
+	}
+}
+
+// TestCloseClearsSnapshotBoundary pins the defense-in-depth half of the
+// same invariant at the log level: even against an on-disk history in
+// which a snapshotted session is closed and its ID reopened (the shape
+// a pre-fix daemon could leave behind), the retired session's snapshot
+// boundary must die with its close record instead of swallowing the new
+// session's low-index operations.
+func TestCloseClearsSnapshotBoundary(t *testing.T) {
+	dir := t.TempDir()
+	_, cs := testbed(t)
+	cfg := durableConfig(t, dir)
+
+	s1 := New(cfg)
+	if err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	client := ts1.Client()
+	sid := openSession(t, client, ts1.URL, cs, "")
+	code, raw, _ := doJSON(t, client, "POST", ts1.URL+"/v1/sessions/"+sid+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(33, 8))})
+	if code != http.StatusOK {
+		t.Fatalf("map: %d %s", code, raw)
+	}
+	var out MapEnvResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture the open and admit records before the snapshot truncates
+	// them, then snapshot so the session's boundary covers the admit.
+	scan, err := wal.Scan(dir, wal.Hooks{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var openRec, admitRec *wal.Record
+	for i := range scan.Records {
+		r := &scan.Records[i]
+		switch {
+		case r.Kind == wal.KindOpen && r.SID == sid:
+			openRec = r
+		case r.Kind == wal.KindAdmit && r.SID == sid:
+			admitRec = r
+		}
+	}
+	if openRec == nil || admitRec == nil {
+		t.Fatalf("log missing open/admit records for %s", sid)
+	}
+	if err := s1.writeSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate the reuse: close the snapshotted session, reopen its ID,
+	// re-admit at index 1 — at or below the stale boundary.
+	for _, rec := range []*wal.Record{{Kind: wal.KindClose, SID: sid}, openRec, admitRec} {
+		if err := s1.wal.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s1.wal.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close() // kill
+
+	s2 := New(cfg)
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+	})
+	client2 := ts2.Client()
+	if code, raw, _ := doJSON(t, client2, "DELETE", ts2.URL+"/v1/sessions/"+sid+"/envs/"+out.ID, nil); code != http.StatusNoContent {
+		t.Fatalf("reopened session's admission %s/%s swallowed by stale boundary: %d %s", sid, out.ID, code, raw)
+	}
+}
+
+// TestRecoverBumpsNextEnvFromActiveTags pins the phase-3 guard: a
+// snapshot whose NextEnv counter lags its own active set (the shape a
+// racing export could once produce) must not make the recovered daemon
+// re-issue a live environment ID.
+func TestRecoverBumpsNextEnvFromActiveTags(t *testing.T) {
+	dir := t.TempDir()
+	_, cs := testbed(t)
+	cfg := durableConfig(t, dir)
+
+	s1 := New(cfg)
+	if err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	client := ts1.Client()
+	sid := openSession(t, client, ts1.URL, cs, "")
+	existing := make(map[string]bool)
+	for i := 0; i < 2; i++ {
+		code, raw, _ := doJSON(t, client, "POST", ts1.URL+"/v1/sessions/"+sid+"/envs",
+			MapEnvRequest{Env: spec.FromEnv(smallEnv(int64(50+i), 6))})
+		if code != http.StatusOK {
+			t.Fatalf("map %d: %d %s", i, code, raw)
+		}
+		var out MapEnvResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		existing[out.ID] = true
+	}
+	// A doctored snapshot: the state is right, but the ID counter lags
+	// the active set it describes.
+	if err := s1.wal.WriteSnapshot(func() ([]wal.SessionSnap, error) {
+		sns, err := s1.exportAll()
+		if err != nil {
+			return nil, err
+		}
+		for i := range sns {
+			sns[i].NextEnv = 0
+		}
+		return sns, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close() // kill
+
+	s2 := New(cfg)
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+		s1.Close()
+	})
+	client2 := ts2.Client()
+	code, raw, _ := doJSON(t, client2, "POST", ts2.URL+"/v1/sessions/"+sid+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(smallEnv(60, 6))})
+	if code != http.StatusOK {
+		t.Fatalf("map after restart: %d %s", code, raw)
+	}
+	var out MapEnvResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if existing[out.ID] {
+		t.Fatalf("recovered daemon re-issued live environment ID %s", out.ID)
+	}
+}
+
+// TestOpenSessionBarrierFailure pins two contracts at once: a failed
+// WAL append faults the log permanently (the ack barrier cannot succeed
+// vacuously just because nothing new reached the buffer), and an open
+// whose barrier fails tears the session back down instead of leaking a
+// serving session its client was never told about.
+func TestOpenSessionBarrierFailure(t *testing.T) {
+	dir := t.TempDir()
+	_, cs := testbed(t)
+	s := New(durableConfig(t, dir))
+	if err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	client := ts.Client()
+
+	sid := openSession(t, client, ts.URL, cs, "")
+
+	// Sever the log out from under the daemon: the open record's append
+	// fails, which must fault every later barrier.
+	if err := s.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	code, raw, _ := doJSON(t, client, "POST", ts.URL+"/v1/sessions", OpenSessionRequest{Cluster: cs})
+	if code != http.StatusInternalServerError {
+		t.Fatalf("open with severed log: %d %s, want 500", code, raw)
+	}
+	s.mu.Lock()
+	n := len(s.sessions)
+	_, leaked := s.sessions["s2"]
+	s.mu.Unlock()
+	if leaked || n != 1 {
+		t.Fatalf("failed open left %d sessions (leaked s2: %v), want only %s", n, leaked, sid)
+	}
+	if got := s.mSessions.Value(); got != 1 {
+		t.Fatalf("hmnd_active_sessions = %v after failed open, want 1", got)
+	}
+}
+
 // TestSnapshotLoop lets the background snapshotter run and checks a
 // later recovery comes from the snapshot, not a full-log replay.
 func TestSnapshotLoop(t *testing.T) {

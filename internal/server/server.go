@@ -575,6 +575,20 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	sess.stddev.Set(mapping.Objective(cs.ResidualProc()))
 
 	if err := s.ackBarrier(); err != nil {
+		// The open was never made durable, so the client was never told
+		// the session exists: tear it back down rather than leak a
+		// serving session a 500-retrying client will never address. The
+		// close record is best-effort (the barrier just failed), but if
+		// the open did reach disk it keeps a later replay consistent.
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
+		sess.mu.Lock()
+		sess.closed = true
+		sess.mu.Unlock()
+		s.appendClose(id)
+		s.mSessions.Dec()
+		s.reg.Unregister(fmt.Sprintf("hmnd_session_residual_stddev{session=%q}", id))
 		writeError(w, http.StatusInternalServerError, "durability barrier: "+err.Error())
 		return
 	}

@@ -83,6 +83,12 @@ type log struct {
 	// appendSeq numbers appended records; barrier targets are expressed
 	// in it.
 	appendSeq uint64 //hmn:guardedby mu
+	// fault is sticky: the first append or fsync failure. Once a record
+	// the in-memory state already committed has been lost — or an fsync
+	// failed, after which the kernel may have dropped dirty pages — the
+	// log has diverged from memory permanently, so every later barrier
+	// fails and no client is ever told lost work is durable.
+	fault error //hmn:guardedby mu
 
 	// syncMu serializes fsync. Lock ordering: syncMu before mu — a
 	// barrier holds syncMu while it flushes under mu, then syncs with
@@ -107,21 +113,45 @@ func (l *log) openSegment(n uint64) error {
 	return nil
 }
 
+// faultLocked records the log's first unrecoverable failure and returns
+// it. Every later barrier reports the fault instead of succeeding.
+//
+//hmn:locked mu
+func (l *log) faultLocked(err error) error {
+	if l.fault == nil {
+		l.fault = err
+	}
+	return err
+}
+
+// faultBarrier is faultLocked for the barrier path, which runs with mu
+// released.
+func (l *log) faultBarrier(err error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.faultLocked(err)
+}
+
 // append serializes rec into the active segment's buffer. The record is
 // NOT durable until a barrier; callers on the ack path follow with
-// Barrier().
+// Barrier(). A failed append is a permanent fault: the in-memory state
+// holds an operation the log does not, so barriers fail from then on
+// and the lost record can never be acknowledged as durable.
 func (l *log) append(rec *Record) error {
 	frame, err := appendFrame(nil, rec)
 	if err != nil {
+		l.mu.Lock()
+		l.faultLocked(err)
+		l.mu.Unlock()
 		return err
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.w == nil {
-		return fmt.Errorf("wal: log is closed")
+		return l.faultLocked(fmt.Errorf("wal: log is closed"))
 	}
 	if _, err := l.w.Write(frame); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return l.faultLocked(fmt.Errorf("wal: append: %w", err))
 	}
 	l.appendSeq++
 	if l.hooks.OnAppend != nil {
@@ -137,7 +167,11 @@ func (l *log) append(rec *Record) error {
 func (l *log) barrier() error {
 	l.mu.Lock()
 	target := l.appendSeq
+	fault := l.fault
 	l.mu.Unlock()
+	if fault != nil {
+		return fmt.Errorf("wal: log faulted: %w", fault)
+	}
 	if l.syncedSeq.Load() >= target {
 		return nil
 	}
@@ -156,11 +190,11 @@ func (l *log) barrier() error {
 	f := l.f
 	l.mu.Unlock()
 	if err != nil {
-		return fmt.Errorf("wal: flush: %w", err)
+		return l.faultBarrier(fmt.Errorf("wal: flush: %w", err))
 	}
 	start := time.Now() //hmn:wallclock
 	if err := f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		return l.faultBarrier(fmt.Errorf("wal: fsync: %w", err))
 	}
 	if l.hooks.OnFsync != nil {
 		l.hooks.OnFsync(time.Since(start).Seconds()) //hmn:wallclock
