@@ -1,6 +1,6 @@
 GOPATH_BIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test lint vet fuzz clean bench-baselines bench-compare replay-smoke
+.PHONY: build test lint vet fuzz clean bench-baselines bench-compare replay-smoke rebalance-smoke
 
 # Relative drift (percent) bench-compare tolerates on deterministic
 # metrics before failing. Timings never gate.
@@ -49,6 +49,13 @@ bench-compare:
 ## restart with -replay asserting byte-identical residuals.
 replay-smoke:
 	./scripts/replay_smoke.sh
+
+## rebalance-smoke crash-tests the background rebalancer: churn a
+## session with the rebalancer on, drain it to a local optimum over the
+## one-shot endpoint, kill -9, verify the migrate records with hmnwal,
+## and restart with -replay asserting byte-identical residuals.
+rebalance-smoke:
+	./scripts/rebalance_smoke.sh
 
 clean:
 	go clean ./...

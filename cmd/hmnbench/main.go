@@ -9,6 +9,7 @@
 //	hmnbench -table 3 -reps 30        # Table 3 with the paper's 30 reps
 //	hmnbench -figure 1                # Figure 1 series (torus by default)
 //	hmnbench -correlation             # pooled Pearson r
+//	hmnbench -churn -churn-ops 500    # admission churn, bare vs rebalanced
 //	hmnbench -all -reps 5 -quick      # everything on the reduced matrix
 //
 // The retry budget of the random baselines defaults to 300 (the paper
@@ -48,6 +49,8 @@ func main() {
 		gap          = flag.Bool("gap", false, "measure HMN's optimality gap against the exact solver on tiny instances")
 		gapN         = flag.Int("gap-instances", 30, "instances for the -gap experiment")
 		reservations = flag.Bool("reservations", false, "run the bandwidth-reservation ablation (reserved vs best-effort transfers)")
+		churn        = flag.Bool("churn", false, "run the admission churn benchmark, bare vs background rebalancer")
+		churnOps     = flag.Int("churn-ops", 200, "churn operations for the -churn benchmark")
 	)
 	flag.Parse()
 
@@ -55,8 +58,14 @@ func main() {
 		*workers = *parallel
 	}
 
-	if !*all && *table == 0 && *figure == 0 && !*correlation && !*gap && !*reservations {
+	if !*all && *table == 0 && *figure == 0 && !*correlation && !*gap && !*reservations && !*churn {
 		*all = true
+	}
+	if *churn {
+		fmt.Print(exp.RunChurn(exp.ChurnConfig{Hosts: *hosts, Ops: *churnOps, Seed: *seed}))
+		if !*all && *table == 0 && *figure == 0 && !*correlation && !*gap && !*reservations {
+			return
+		}
 	}
 	if *reservations {
 		fmt.Print(exp.RunReservations(exp.ReservationConfig{Seed: *seed, Workers: *workers}))

@@ -35,6 +35,18 @@
 //	hmnd -addr :8080 -data-dir /var/lib/hmnd
 //	hmnd -addr :8080 -data-dir /var/lib/hmnd -replay
 //
+// Rebalancing: -rebalance-interval starts a background scheduler per
+// session that periodically plans improving guest migrations off the
+// live residual-CPU vector (single moves and pairwise destination
+// swaps, ordered for migration headroom) and commits them through the
+// same optimistic funnel admissions use — mapping requests are never
+// blocked, and every committed plan is WAL-logged like any other
+// operation. -rebalance-max-moves caps each round. The one-shot
+// POST /v1/sessions/{id}/rebalance endpoint runs a round on demand even
+// with the background loop disabled:
+//
+//	hmnd -addr :8080 -rebalance-interval 5s -rebalance-max-moves 8
+//
 // Profiling: -pprof-addr (off by default) serves net/http/pprof on its
 // own listener, kept away from the service port so profiling endpoints
 // are never exposed to tenants by accident:
@@ -73,12 +85,17 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durability directory: WAL + snapshots (empty = in-memory only)")
 		snapEvery = flag.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot interval when -data-dir is set (0 = shutdown snapshot only)")
 		replay    = flag.Bool("replay", false, "verify every recovered session against a recompute before serving (needs -data-dir)")
+		rebEvery  = flag.Duration("rebalance-interval", 0, "background rebalancing round interval per session (0 = disabled; one-shot endpoint always available)")
+		rebMoves  = flag.Int("rebalance-max-moves", 8, "guest moves per rebalancing round, swaps counting two (0 = unbounded)")
 	)
 	flag.Parse()
 
 	cfg, err := buildConfig(*workers, *queue, *batch, *timeout)
 	if err == nil {
 		err = durabilityConfig(&cfg, *dataDir, *snapEvery, *replay)
+	}
+	if err == nil {
+		err = rebalanceConfig(&cfg, *rebEvery, *rebMoves)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hmnd: %v\n", err)
@@ -121,6 +138,19 @@ func durabilityConfig(cfg *server.Config, dataDir string, snapEvery time.Duratio
 	cfg.DataDir = dataDir
 	cfg.SnapshotInterval = snapEvery
 	cfg.VerifyReplay = replay
+	return nil
+}
+
+// rebalanceConfig validates the rebalancer flags into cfg.
+func rebalanceConfig(cfg *server.Config, interval time.Duration, maxMoves int) error {
+	if interval < 0 {
+		return fmt.Errorf("-rebalance-interval must be >= 0, got %v", interval)
+	}
+	if maxMoves < 0 {
+		return fmt.Errorf("-rebalance-max-moves must be >= 0, got %d", maxMoves)
+	}
+	cfg.RebalanceInterval = interval
+	cfg.RebalanceMaxMoves = maxMoves
 	return nil
 }
 

@@ -41,6 +41,8 @@ type Event struct {
 	Fail *FailInfo
 	// Restore is set for EventRestore.
 	Restore *RestoreInfo
+	// Migrate is set for EventMigrate.
+	Migrate *MigrateInfo
 }
 
 // EventType enumerates the session operations the hook observes.
@@ -60,6 +62,10 @@ const (
 	EventFail
 	// EventRestore is a host or link readmission.
 	EventRestore
+	// EventMigrate is one committed rebalance plan: one or more guests
+	// relocated atomically by MigrateGuests, with their environments'
+	// mappings replaced in place (same seq, same tag).
+	EventMigrate
 )
 
 // String names the event type for logs and the hmnwal inspector.
@@ -75,6 +81,8 @@ func (t EventType) String() string {
 		return "fail"
 	case EventRestore:
 		return "restore"
+	case EventMigrate:
+		return "migrate"
 	default:
 		return "unknown"
 	}
@@ -121,6 +129,33 @@ type RepairInfo struct {
 	// admission.
 	Tag string
 	// M is the replacement mapping; nil when unrecoverable.
+	M *mapping.Mapping
+}
+
+// MigrateInfo describes one committed migrate plan: the guest-level
+// moves and, per touched environment, the replacement mapping that now
+// carries the environment under its original admission seq and tag.
+type MigrateInfo struct {
+	// Moves lists the guest relocations, in the canonical commit order
+	// (environments by ascending seq, guests ascending within each).
+	Moves []GuestMove
+	// Envs holds one entry per touched environment, ascending by seq.
+	Envs []MigrateEnvInfo
+	// Delta is the Eq. (10) objective change the commit realized
+	// (negative: the plan improved load balance).
+	Delta float64
+}
+
+// MigrateEnvInfo is one environment whose mapping a migrate replaced.
+type MigrateEnvInfo struct {
+	// Seq is the environment's admission sequence number, unchanged by
+	// the migration.
+	Seq uint64
+	// Tag is the caller tag, unchanged by the migration.
+	Tag string
+	// Env is the environment, unchanged by the migration.
+	Env *virtual.Env
+	// M is the replacement mapping now registered under Seq.
 	M *mapping.Mapping
 }
 

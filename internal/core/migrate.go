@@ -1,0 +1,444 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/virtual"
+)
+
+// This file is the commit funnel for post-admission guest migrations —
+// the primitive the background rebalancer (internal/rebalance) drives.
+// A migrate plan relocates one or more guests of already-deployed
+// environments and commits atomically through cluster.Txn, following the
+// same optimistic shape as MapTagged: a brief lock to validate the plan
+// against the live state and clone the residuals, path re-routing on the
+// private snapshot with no lock held, then a validate-and-commit that
+// either applies the plan's net effect to the live ledger or rejects it
+// untouched. Admissions are never blocked by a migration in flight.
+//
+// Committed mappings are immutable repo-wide (the HTTP layer and the
+// snapshot writer read them off-lock), so a migration never mutates the
+// deployed *mapping.Mapping: it builds a replacement, swaps the pointer
+// in the active set, and keeps the admission seq and caller tag — the
+// environment's identity survives its guests moving.
+
+// ErrMigrateConflict is returned by MigrateGuests when the live state no
+// longer matches the plan — an environment was released, repaired or
+// migrated since the plan was drawn, or a destination lost the resources
+// the plan counted on and retries were exhausted.
+var ErrMigrateConflict = errors.New("core: migrate plan conflicts with the live state")
+
+// ErrNotImproving is returned by MigrateGuests when, at commit time, the
+// plan no longer lowers the Eq. (10) objective by more than the shared
+// stage-2 epsilon. The residuals the plan was scored against have
+// drifted; committing anyway would let FP-noise "improvements" churn
+// guests for nothing.
+var ErrNotImproving = errors.New("core: migrate plan no longer improves the objective")
+
+// GuestMove is one guest relocation in a migrate plan: move Guest of the
+// environment admitted under Seq from host From to host To.
+type GuestMove struct {
+	Seq   uint64
+	Guest virtual.GuestID
+	From  graph.NodeID
+	To    graph.NodeID
+}
+
+// MigrateEnvResult reports one environment whose mapping a migration
+// replaced: Old is retired, New carries the environment under the same
+// admission seq and tag.
+type MigrateEnvResult struct {
+	Seq uint64
+	Tag string
+	Old *mapping.Mapping
+	New *mapping.Mapping
+}
+
+// MigrateResult reports one committed migrate plan.
+type MigrateResult struct {
+	// Moves is the plan in canonical commit order (seq ascending, guest
+	// ascending within an environment).
+	Moves []GuestMove
+	// Envs lists the replaced mappings, seq ascending.
+	Envs []MigrateEnvResult
+	// ObjectiveBefore and ObjectiveAfter bracket the commit; After−Before
+	// is the realized Eq. (10) change (negative: improved).
+	ObjectiveBefore float64
+	ObjectiveAfter  float64
+	// Conflicts is how many optimistic attempts lost their validation
+	// race before the plan committed.
+	Conflicts int
+}
+
+// migrateEnvState is the per-environment working state of one attempt.
+type migrateEnvState struct {
+	seq   uint64
+	tag   string
+	old   *mapping.Mapping
+	nm    *mapping.Mapping
+	moves []GuestMove
+	links []int // link IDs whose endpoints move, ascending
+}
+
+// MigrateGuests commits a migrate plan: every move in moves is applied
+// atomically, or none is. The plan must still improve the live Eq. (10)
+// objective by more than the shared stage-2 epsilon at commit time
+// (ErrNotImproving otherwise), and every named guest must still sit on
+// its From host (ErrMigrateConflict otherwise). Affected virtual links
+// are re-routed on a private snapshot off-lock; a destination or path
+// conflict with a concurrent admission retries against fresh residuals a
+// bounded number of times before giving up.
+//
+// On success the touched environments' mappings are replaced — same seq,
+// same tag, new placements and paths — and one EventMigrate is emitted
+// under the lock, so a WAL subscriber logs the committed effect in
+// commit order.
+func (s *Session) MigrateGuests(moves []GuestMove) (*MigrateResult, error) {
+	if len(moves) == 0 {
+		return nil, errors.New("core: migrate plan is empty")
+	}
+	norm := append([]GuestMove(nil), moves...)
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i].Seq != norm[j].Seq {
+			return norm[i].Seq < norm[j].Seq
+		}
+		return norm[i].Guest < norm[j].Guest
+	})
+	for i, mv := range norm {
+		if mv.From == mv.To {
+			return nil, fmt.Errorf("core: migrate plan moves guest %d of seq %d onto its own host %d", mv.Guest, mv.Seq, mv.From)
+		}
+		if i > 0 && norm[i-1].Seq == mv.Seq && norm[i-1].Guest == mv.Guest {
+			return nil, fmt.Errorf("core: migrate plan names guest %d of seq %d twice", mv.Guest, mv.Seq)
+		}
+	}
+
+	conflicts := 0
+	for try := 0; ; try++ {
+		res, retry, err := s.migrateAttempt(norm)
+		if err == nil {
+			res.Conflicts = conflicts
+			return res, nil
+		}
+		if !retry || try >= s.optimisticRetries {
+			return nil, err
+		}
+		conflicts++
+	}
+}
+
+// migrateAttempt runs one optimistic attempt. retry reports whether the
+// error is a validation race worth retrying against fresh residuals.
+func (s *Session) migrateAttempt(norm []GuestMove) (res *MigrateResult, retry bool, err error) {
+	s.mu.Lock()
+	envs, err := s.migrateEnvsLocked(norm)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, false, err
+	}
+	snap := s.led.Clone()
+	ver := s.version
+	s.mu.Unlock()
+
+	// Speculate on the private snapshot: free the moving guests and the
+	// affected links' bandwidth, re-reserve at the destinations, and
+	// re-route the affected links — every A*Prune search runs here, with
+	// no lock held.
+	for _, es := range envs {
+		env := es.old.Env
+		nm := es.old.Clone()
+		for _, l := range es.links {
+			snap.ReleaseBandwidth(es.old.LinkPath[l], env.Link(l).BW)
+			nm.LinkPath[l] = graph.Path{}
+		}
+		for _, mv := range es.moves {
+			g := env.Guest(mv.Guest)
+			snap.ReleaseGuest(mv.From, g.Proc, g.Mem, g.Stor)
+			if rerr := snap.ReserveGuest(mv.To, g.Proc, g.Mem, g.Stor); rerr != nil {
+				return nil, true, fmt.Errorf("%w: destination %d rejected guest %d of seq %d: %v",
+					ErrMigrateConflict, mv.To, mv.Guest, mv.Seq, rerr)
+			}
+			nm.GuestHost[mv.Guest] = mv.To
+		}
+		if len(es.links) > 0 {
+			if rerr := s.mapper.rerouteOnLedger(snap, env, nm.GuestHost, nm.LinkPath, es.links, s.ar); rerr != nil {
+				return nil, true, fmt.Errorf("core: migrate re-route for seq %d: %w", es.seq, rerr)
+			}
+		}
+		es.nm = nm
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.version != ver {
+		// The state moved while we routed. Committed mappings are
+		// immutable and every state change that touches an environment
+		// swaps its pointer out of the active set, so pointer equality
+		// re-validates all placement assumptions at once.
+		for _, es := range envs {
+			if s.bySeqLocked(es.seq) != es.old {
+				return nil, false, fmt.Errorf("%w: environment seq %d changed during planning", ErrMigrateConflict, es.seq)
+			}
+		}
+	}
+	hosts, deltas := migrateShift(envs)
+	cur := s.led.ObjectiveStdDev()
+	if s.led.DeltaStdDevShift(hosts, deltas) >= -ImprovementEps(cur) {
+		return nil, false, ErrNotImproving
+	}
+	if cerr := s.led.Commit(migrateTxn(s.led, envs)); cerr != nil {
+		// The snapshot's paths or destinations no longer fit the live
+		// residuals: a concurrent admission won the race.
+		return nil, true, fmt.Errorf("%w: %v", ErrMigrateConflict, cerr)
+	}
+	after := s.led.ObjectiveStdDev()
+	res = &MigrateResult{
+		Moves:           norm,
+		Envs:            make([]MigrateEnvResult, 0, len(envs)),
+		ObjectiveBefore: cur,
+		ObjectiveAfter:  after,
+	}
+	info := &MigrateInfo{Moves: norm, Delta: after - cur}
+	for _, es := range envs {
+		delete(s.active, es.old)
+		s.active[es.nm] = activeEntry{seq: es.seq, tag: es.tag}
+		res.Envs = append(res.Envs, MigrateEnvResult{Seq: es.seq, Tag: es.tag, Old: es.old, New: es.nm})
+		info.Envs = append(info.Envs, MigrateEnvInfo{Seq: es.seq, Tag: es.tag, Env: es.old.Env, M: es.nm})
+	}
+	s.version++
+	s.emitLocked(Event{Type: EventMigrate, Migrate: info})
+	return res, false, nil
+}
+
+// migrateEnvsLocked resolves a normalized plan against the live active
+// set: moves group into per-environment states (seq ascending, guests
+// ascending — the canonical commit order), and every assumption the plan
+// makes is checked. Callers hold s.mu.
+//
+//hmn:locked mu
+func (s *Session) migrateEnvsLocked(norm []GuestMove) ([]*migrateEnvState, error) {
+	var envs []*migrateEnvState
+	for _, mv := range norm {
+		if !s.c.IsHost(mv.To) {
+			return nil, fmt.Errorf("%w: node %d is not a host", ErrUnknownTarget, mv.To)
+		}
+		var es *migrateEnvState
+		if n := len(envs); n > 0 && envs[n-1].seq == mv.Seq {
+			es = envs[n-1]
+		} else {
+			old := s.bySeqLocked(mv.Seq)
+			if old == nil {
+				return nil, fmt.Errorf("%w: seq %d", ErrNotActive, mv.Seq)
+			}
+			es = &migrateEnvState{seq: mv.Seq, tag: s.active[old].tag, old: old}
+			envs = append(envs, es)
+		}
+		if int(mv.Guest) < 0 || int(mv.Guest) >= len(es.old.GuestHost) {
+			return nil, fmt.Errorf("core: migrate plan names guest %d of seq %d, which has %d guests",
+				mv.Guest, mv.Seq, len(es.old.GuestHost))
+		}
+		if es.old.GuestHost[mv.Guest] != mv.From {
+			return nil, fmt.Errorf("%w: guest %d of seq %d is on host %d, plan expected %d",
+				ErrMigrateConflict, mv.Guest, mv.Seq, es.old.GuestHost[mv.Guest], mv.From)
+		}
+		es.moves = append(es.moves, mv)
+	}
+	for _, es := range envs {
+		es.links = affectedLinks(es.old.Env, es.moves)
+	}
+	return envs, nil
+}
+
+// affectedLinks returns the IDs of the virtual links with at least one
+// moved endpoint, ascending and deduplicated — the canonical link order
+// both the live commit and replay iterate.
+func affectedLinks(env *virtual.Env, moves []GuestMove) []int {
+	var links []int
+	for _, mv := range moves {
+		links = append(links, env.LinksOf(mv.Guest)...)
+	}
+	sort.Ints(links)
+	out := links[:0]
+	for i, l := range links {
+		if i == 0 || l != links[i-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// migrateShift aggregates a plan's net residual-CPU change per host, for
+// the O(len(moves)) commit-time improvement check. Hosts are returned
+// ascending by node ID, each exactly once.
+func migrateShift(envs []*migrateEnvState) ([]graph.NodeID, []float64) {
+	agg := make(map[graph.NodeID]float64)
+	for _, es := range envs {
+		for _, mv := range es.moves {
+			p := es.old.Env.Guest(mv.Guest).Proc
+			agg[mv.From] += p // guest leaves: residual grows
+			agg[mv.To] -= p   // guest arrives: residual shrinks
+		}
+	}
+	hosts := make([]graph.NodeID, 0, len(agg))
+	//hmn:orderinvariant
+	for n := range agg {
+		hosts = append(hosts, n)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	deltas := make([]float64, len(hosts))
+	for i, n := range hosts {
+		deltas[i] = agg[n]
+	}
+	return hosts, deltas
+}
+
+// migrateTxn collapses a migrate plan into its net effect on the ledger:
+// each moved guest's demands added at the destination and subtracted at
+// the origin, each affected link's bandwidth added along the new path
+// and subtracted along the old. Environments are visited seq-ascending,
+// guests and links ascending within each — the same canonical order live
+// and in replay, so cluster.Ledger.Commit applies bit-identical per-host
+// and per-edge aggregates both times.
+func migrateTxn(led *cluster.Ledger, envs []*migrateEnvState) *cluster.Txn {
+	txn := led.NewTxn()
+	for _, es := range envs {
+		env := es.old.Env
+		for _, mv := range es.moves {
+			g := env.Guest(mv.Guest)
+			txn.AddGuest(mv.To, g.Proc, g.Mem, g.Stor)
+			txn.AddGuest(mv.From, -g.Proc, -g.Mem, -g.Stor)
+		}
+		for _, l := range es.links {
+			bw := env.Link(l).BW
+			txn.AddPath(es.nm.LinkPath[l], bw)
+			txn.AddPath(es.old.LinkPath[l], -bw)
+		}
+	}
+	return txn
+}
+
+// ReplayMigrateEnv is one environment of a logged migrate record: the
+// replacement mapping rebuilt from the log, to be registered under the
+// environment's unchanged seq and tag.
+type ReplayMigrateEnv struct {
+	Seq uint64
+	Tag string
+	M   *mapping.Mapping
+}
+
+// ReplayMigrate re-applies one logged migrate plan: the recorded
+// replacement mappings — not a re-run of the planner or router — are
+// committed through the same canonical transaction the live run built,
+// so the residual vectors replay bit-for-bit. moves and envs must be in
+// the canonical order the event recorded (seq ascending, guests
+// ascending); every recorded assumption is verified against the restored
+// state and a mismatch returns ErrReplayDiverged.
+func (s *Session) ReplayMigrate(moves []GuestMove, envs []ReplayMigrateEnv) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	states := make([]*migrateEnvState, 0, len(envs))
+	mi := 0
+	for _, re := range envs {
+		old := s.bySeqLocked(re.Seq)
+		if old == nil {
+			return fmt.Errorf("%w: migrate of seq %d, which is not active", ErrReplayDiverged, re.Seq)
+		}
+		if got := s.active[old].tag; got != re.Tag {
+			return fmt.Errorf("%w: migrate of seq %d carries tag %q, log recorded %q", ErrReplayDiverged, re.Seq, got, re.Tag)
+		}
+		if re.M == nil || len(re.M.GuestHost) != len(old.GuestHost) {
+			return fmt.Errorf("%w: migrate of seq %d has a malformed replacement mapping", ErrReplayDiverged, re.Seq)
+		}
+		es := &migrateEnvState{seq: re.Seq, tag: re.Tag, old: old, nm: re.M}
+		for mi < len(moves) && moves[mi].Seq == re.Seq {
+			mv := moves[mi]
+			if int(mv.Guest) < 0 || int(mv.Guest) >= len(old.GuestHost) {
+				return fmt.Errorf("%w: migrate names guest %d of seq %d, which has %d guests",
+					ErrReplayDiverged, mv.Guest, mv.Seq, len(old.GuestHost))
+			}
+			if old.GuestHost[mv.Guest] != mv.From || re.M.GuestHost[mv.Guest] != mv.To {
+				return fmt.Errorf("%w: guest %d of seq %d moves %d→%d, log recorded %d→%d",
+					ErrReplayDiverged, mv.Guest, mv.Seq, old.GuestHost[mv.Guest], re.M.GuestHost[mv.Guest], mv.From, mv.To)
+			}
+			es.moves = append(es.moves, mv)
+			mi++
+		}
+		if len(es.moves) == 0 {
+			return fmt.Errorf("%w: migrate record names seq %d with no moves", ErrReplayDiverged, re.Seq)
+		}
+		moved := make(map[virtual.GuestID]bool, len(es.moves))
+		for _, mv := range es.moves {
+			moved[mv.Guest] = true
+		}
+		for g := range old.GuestHost {
+			if !moved[virtual.GuestID(g)] && re.M.GuestHost[g] != old.GuestHost[g] {
+				return fmt.Errorf("%w: migrate of seq %d relocated guest %d without a move record", ErrReplayDiverged, re.Seq, g)
+			}
+		}
+		es.links = affectedLinks(old.Env, es.moves)
+		states = append(states, es)
+	}
+	if mi != len(moves) {
+		return fmt.Errorf("%w: migrate record has %d moves outside its environments", ErrReplayDiverged, len(moves)-mi)
+	}
+	before := s.led.ObjectiveStdDev()
+	if err := s.led.Commit(migrateTxn(s.led, states)); err != nil {
+		return fmt.Errorf("%w: logged migrate no longer fits: %v", ErrReplayDiverged, err)
+	}
+	info := &MigrateInfo{Moves: moves, Delta: s.led.ObjectiveStdDev() - before}
+	for _, es := range states {
+		delete(s.active, es.old)
+		s.active[es.nm] = activeEntry{seq: es.seq, tag: es.tag}
+		info.Envs = append(info.Envs, MigrateEnvInfo{Seq: es.seq, Tag: es.tag, Env: es.old.Env, M: es.nm})
+	}
+	s.version++
+	s.emitLocked(Event{Type: EventMigrate, Migrate: info})
+	return nil
+}
+
+// PlanEnv is one deployed environment in a planning snapshot: the
+// environment, its current guest placements (a private copy) and its
+// session identity.
+type PlanEnv struct {
+	Seq       uint64
+	Tag       string
+	Env       *virtual.Env
+	GuestHost []graph.NodeID
+}
+
+// PlanView is a point-in-time view for external re-optimizers: a private
+// ledger clone plus every deployed environment's placements, seq
+// ascending. The view shares nothing mutable with the session — the
+// rebalancer scores candidates on it at leisure while admissions
+// proceed, then submits its plan through MigrateGuests, which
+// re-validates everything against the live state.
+type PlanView struct {
+	Ledger *cluster.Ledger
+	Envs   []PlanEnv
+}
+
+// PlanSnapshot captures a PlanView under a brief lock.
+func (s *Session) PlanSnapshot() PlanView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pv := PlanView{
+		Ledger: s.led.Clone(),
+		Envs:   make([]PlanEnv, 0, len(s.active)),
+	}
+	//hmn:orderinvariant
+	for m, e := range s.active {
+		pv.Envs = append(pv.Envs, PlanEnv{
+			Seq:       e.seq,
+			Tag:       e.tag,
+			Env:       m.Env,
+			GuestHost: append([]graph.NodeID(nil), m.GuestHost...),
+		})
+	}
+	sort.Slice(pv.Envs, func(i, j int) bool { return pv.Envs[i].Seq < pv.Envs[j].Seq })
+	return pv
+}

@@ -25,6 +25,32 @@ const (
 	ScopeAllHosts
 )
 
+// improvementEps returns the shared stage-2 acceptance threshold: a
+// candidate move is accepted only when it lowers the Eq. (10) objective
+// by more than this margin. Exact and incremental modes share the one
+// threshold so FP noise near zero — where a full recompute and the
+// running Σx/Σx² evaluation disagree in the last few ulps — cannot make
+// the two modes diverge in move count or final assignment. The margin
+// scales with the current objective and is floored at an absolute 1e-9
+// for objectives under 1. The migrate commit funnel applies the same
+// threshold, so a background rebalancer cannot accept a move the
+// admission-time stage would reject.
+func ImprovementEps(current float64) float64 {
+	const rel = 1e-9
+	if current > 1 {
+		return rel * current
+	}
+	return rel
+}
+
+// moveStep records one accepted stage-2 migration. The property tests
+// pass a trace to pin exact and incremental mode to identical move
+// *sequences*, not merely final objectives within a tolerance.
+type moveStep struct {
+	guest    virtual.GuestID
+	from, to graph.NodeID
+}
+
 // migrate is HMN stage 2 (§4.2): it improves load balance by reassigning
 // guests away from the most loaded host. At every iteration:
 //
@@ -43,7 +69,7 @@ const (
 // The function mutates assign and the ledger in place. It cannot fail:
 // a migration either strictly improves the objective or is not performed.
 func migrate(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric LoadMetric, maxMoves int) int {
-	return migrateScoped(led, v, assign, metric, maxMoves, ScopeMostLoaded, nil, false)
+	return migrateScoped(led, v, assign, metric, maxMoves, ScopeMostLoaded, nil, false, nil)
 }
 
 // migrateScoped is migrate with a selectable donor scope (see
@@ -60,7 +86,7 @@ func migrate(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric 
 // Under the paper's LoadResidualMIPS metric, "ascending load" is exactly
 // the host index's (residual desc, node asc) order, so a live tracking
 // index replaces the per-attempt destination sort outright.
-func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric LoadMetric, maxMoves int, scope MigrationScope, hi *hostIndex, exact bool) int {
+func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric LoadMetric, maxMoves int, scope MigrationScope, hi *hostIndex, exact bool, trace *[]moveStep) int {
 	c := led.Cluster()
 	hosts := c.HostNodes()
 	if len(hosts) < 2 {
@@ -101,10 +127,21 @@ func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, m
 	// exists; otherwise it is built per attempt. Exact mode keeps the
 	// per-attempt copy: its what-ifs mutate the ledger, which would
 	// reorder a live index mid-iteration.
+	//
+	// The live order is snapshotted per attempt, never aliased: the
+	// failed-reserve path below releases and re-reserves the victim,
+	// and each of those mutations re-sorts hi.order in place through
+	// the ledger's proc hook. A range over the live slice would then
+	// continue at the same position in a permuted array — skipping
+	// hosts it has not tried or revisiting ones it has. One scratch
+	// buffer is reused across attempts, so the snapshot costs a copy,
+	// not an allocation.
 	liveIndex := hi != nil && hi.track && metric != LoadUtilization && !exact
+	var liveSnap []graph.NodeID
 	destinations := func() []graph.NodeID {
 		if liveIndex {
-			return hi.order
+			liveSnap = append(liveSnap[:0], hi.order...)
+			return liveSnap
 		}
 		cand := append([]graph.NodeID(nil), hosts...)
 		slices.SortFunc(cand, func(a, b graph.NodeID) int {
@@ -125,6 +162,7 @@ func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, m
 	// destination, least loaded first, that fits it and lowers the
 	// objective. Reports whether a move was committed.
 	tryMoveFrom := func(origin graph.NodeID, current float64) bool {
+		eps := ImprovementEps(current)
 		guests := onHost[origin]
 		// Victim: guest with the smallest total vbw to co-located guests.
 		victim := guests[0]
@@ -155,13 +193,13 @@ func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, m
 					mustReserve(led, origin, guest)
 					continue
 				}
-				if objective() < current {
+				if objective()-current < -eps {
 					improves = true
 				} else {
 					led.ReleaseGuest(dest, guest.Proc, guest.Mem, guest.Stor)
 					mustReserve(led, origin, guest)
 				}
-			} else if led.DeltaStdDev(origin, dest, guest.Proc) < 0 {
+			} else if led.DeltaStdDev(origin, dest, guest.Proc) < -eps {
 				led.ReleaseGuest(origin, guest.Proc, guest.Mem, guest.Stor)
 				if err := led.ReserveGuest(dest, guest.Proc, guest.Mem, guest.Stor); err != nil {
 					mustReserve(led, origin, guest)
@@ -173,6 +211,9 @@ func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, m
 				assign[victim] = dest
 				onHost[origin] = removeGuest(onHost[origin], victim)
 				onHost[dest] = append(onHost[dest], victim)
+				if trace != nil {
+					*trace = append(*trace, moveStep{guest: victim, from: origin, to: dest})
+				}
 				return true
 			}
 		}

@@ -113,7 +113,7 @@ func (h *HMN) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mappin
 		return fmt.Errorf("HMN hosting stage: %w", err)
 	}
 	if !h.DisableMigration {
-		migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope, hi, h.ExactObjective)
+		migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope, hi, h.ExactObjective, nil)
 	}
 	if err := network(led, v, m.GuestHost, m.LinkPath, h.NetworkOrder, h.AStar, h.Rand, arc); err != nil {
 		return fmt.Errorf("HMN networking stage: %w", err)

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunChurnRebalancerImproves runs a small churn and checks the
+// rebalanced run actually migrates, every committed move pays for
+// itself, and the drained end state beats the bare run's — the Eq. (10)
+// claim the benchmark exists to measure.
+func TestRunChurnRebalancerImproves(t *testing.T) {
+	r := RunChurn(ChurnConfig{
+		Hosts:    16,
+		Ops:      40,
+		Guests:   12,
+		Active:   6,
+		Seed:     3,
+		Interval: 100 * time.Microsecond,
+		MaxMoves: 8,
+	})
+	if r.Moves == 0 {
+		t.Fatal("rebalancer committed no moves during churn")
+	}
+	if r.Rounds == 0 {
+		t.Fatal("no committing rounds recorded")
+	}
+	if r.ImprovementPerMove <= 0 {
+		t.Fatalf("ImprovementPerMove = %g, want > 0", r.ImprovementPerMove)
+	}
+	if r.ObjectiveFinalReb >= r.ObjectiveFinalBase {
+		t.Fatalf("drained objective %g not below bare %g", r.ObjectiveFinalReb, r.ObjectiveFinalBase)
+	}
+	if r.AdmitP50Base > r.AdmitP99Base || r.AdmitP50Reb > r.AdmitP99Reb {
+		t.Fatalf("percentiles out of order: base %g/%g reb %g/%g",
+			r.AdmitP50Base, r.AdmitP99Base, r.AdmitP50Reb, r.AdmitP99Reb)
+	}
+	out := r.String()
+	for _, want := range []string{"Churn benchmark", "objective improvement per migration", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -82,6 +82,16 @@ type FailTargetResponse struct {
 	Results []RepairReport `json:"results"`
 }
 
+// RebalanceResponse is the body of POST /v1/sessions/{sid}/rebalance:
+// one synchronous rebalancing round. Moves counts the guest migrations
+// committed; the stddev pair brackets the round (equal when the session
+// was already balanced or every planned unit lost its commit race).
+type RebalanceResponse struct {
+	Moves        int     `json:"moves"`
+	StdDevBefore float64 `json:"stddev_before"`
+	StdDevAfter  float64 `json:"stddev_after"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -235,10 +235,14 @@ func (s *Server) Recover() error {
 			}
 		}
 		s.attachWAL(sess)
+		s.attachRebalance(sess)
 		sess.stddev.Set(mapping.Objective(sess.core.ResidualProc()))
 		s.mu.Lock()
 		s.sessions[sid] = sess
 		s.mu.Unlock()
+		// The session is fully replayed and durable; the background loop
+		// (if configured) may migrate its guests from here on.
+		s.startRebalance(sess)
 	}
 	s.mu.Lock()
 	if maxSession > s.nextSession {

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/topology"
+	"repro/internal/virtual"
+)
+
+// rebalanceTestbed builds a 4-host cluster engineered so that admission
+// alone cannot balance it but a post-release rebalance can:
+//
+//   - hosts: uniform 1000 MIPS; h0..h2 have 1024 MB, h3 only 256 MB;
+//   - env A: two pinning guests (1024 MB each) that admission spreads
+//     onto h0 and h1, filling their memory completely;
+//   - env B: two 400-MIPS, 512-MB guests — h3 never fits them and h0/h1
+//     are full, so both land on h2 and the admission-time migration
+//     stage cannot move them anywhere.
+//
+// Releasing A frees h0/h1's memory and leaves residuals
+// {1000, 1000, 200, 1000}: exactly one improving migration exists (a B
+// guest to h0), after which {600, 1000, 600, 1000} is optimal. Every
+// expectation below is deterministic.
+func rebalanceTestbed(t *testing.T) spec.ClusterSpec {
+	t.Helper()
+	specs := []topology.HostSpec{
+		{Proc: 1000, Mem: 1024, Stor: 1000},
+		{Proc: 1000, Mem: 1024, Stor: 1000},
+		{Proc: 1000, Mem: 1024, Stor: 1000},
+		{Proc: 1000, Mem: 256, Stor: 1000},
+	}
+	c, err := topology.Torus2D(specs, 2, 2, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.FromCluster(c)
+}
+
+func pinEnv() *virtual.Env {
+	env := virtual.NewEnv()
+	env.AddGuest("pin0", 50, 1024, 10)
+	env.AddGuest("pin1", 50, 1024, 10)
+	return env
+}
+
+func pairEnv() *virtual.Env {
+	env := virtual.NewEnv()
+	env.AddGuest("b0", 400, 512, 10)
+	env.AddGuest("b1", 400, 512, 10)
+	return env
+}
+
+// mapOne maps env into the session and returns its environment ID.
+func mapOne(t *testing.T, client *http.Client, base string, env *virtual.Env) string {
+	t.Helper()
+	code, raw, _ := doJSON(t, client, "POST", base+"/envs",
+		MapEnvRequest{Env: spec.FromEnv(env)})
+	if code != http.StatusOK {
+		t.Fatalf("map: %d %s", code, raw)
+	}
+	var out MapEnvResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID
+}
+
+// unbalance deploys the fixture's A and B environments and releases A,
+// returning B's environment ID and the session base URL.
+func unbalance(t *testing.T, client *http.Client, base string) string {
+	t.Helper()
+	pinned := mapOne(t, client, base, pinEnv())
+	pair := mapOne(t, client, base, pairEnv())
+	if code, raw, _ := doJSON(t, client, "DELETE", base+"/envs/"+pinned, nil); code != http.StatusNoContent {
+		t.Fatalf("release pins: %d %s", code, raw)
+	}
+	return pair
+}
+
+func residualStdDev(t *testing.T, client *http.Client, base string) float64 {
+	t.Helper()
+	code, raw, _ := doJSON(t, client, "GET", base+"/residuals", nil)
+	if code != http.StatusOK {
+		t.Fatalf("residuals: %d %s", code, raw)
+	}
+	var out ResidualsResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.StdDev
+}
+
+func TestRebalanceEndpoint(t *testing.T) {
+	cs := rebalanceTestbed(t)
+	_, ts := startServer(t, Config{Workers: 2, QueueDepth: 16})
+	client := ts.Client()
+	sid := openSession(t, client, ts.URL, cs, "")
+	base := ts.URL + "/v1/sessions/" + sid
+	unbalance(t, client, base)
+
+	wantBefore := math.Sqrt(120000) // residuals {1000, 1000, 200, 1000}
+	code, raw, _ := doJSON(t, client, "POST", base+"/rebalance", nil)
+	if code != http.StatusOK {
+		t.Fatalf("rebalance: %d %s", code, raw)
+	}
+	var out RebalanceResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Moves != 1 {
+		t.Fatalf("rebalance moved %d guests, want exactly 1", out.Moves)
+	}
+	if math.Abs(out.StdDevBefore-wantBefore) > 1e-9 {
+		t.Fatalf("stddev_before = %v, want %v", out.StdDevBefore, wantBefore)
+	}
+	if math.Abs(out.StdDevAfter-200) > 1e-9 { // {600, 1000, 600, 1000}
+		t.Fatalf("stddev_after = %v, want 200", out.StdDevAfter)
+	}
+	if got := residualStdDev(t, client, base); math.Abs(got-out.StdDevAfter) > 1e-12 {
+		t.Fatalf("residuals stddev %v disagrees with rebalance response %v", got, out.StdDevAfter)
+	}
+
+	// A second round finds nothing: the placement is optimal.
+	code, raw, _ = doJSON(t, client, "POST", base+"/rebalance", nil)
+	if code != http.StatusOK {
+		t.Fatalf("second rebalance: %d %s", code, raw)
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Moves != 0 || out.StdDevBefore != out.StdDevAfter {
+		t.Fatalf("second round on a balanced session: %+v", out)
+	}
+
+	text := scrape(t, client, ts.URL)
+	if got := metricValue(t, text, "hmnd_rebalance_moves_total"); got != 1 {
+		t.Errorf("hmnd_rebalance_moves_total = %v, want 1", got)
+	}
+	if got := metricValue(t, text, "hmnd_rebalance_rounds_total"); got < 2 {
+		t.Errorf("hmnd_rebalance_rounds_total = %v, want >= 2", got)
+	}
+	if got := metricValue(t, text, "hmnd_rebalance_objective_improvement"); math.Abs(got-(wantBefore-200)) > 1e-9 {
+		t.Errorf("hmnd_rebalance_objective_improvement = %v, want %v", got, wantBefore-200)
+	}
+}
+
+// TestRebalanceBackgroundLoop runs the continuous scheduler: after the
+// release unbalances the session, the loop must converge it without any
+// endpoint call, and the environment registry must follow the moved
+// mapping (releasing B afterwards restores the primed baseline).
+func TestRebalanceBackgroundLoop(t *testing.T) {
+	cs := rebalanceTestbed(t)
+	_, ts := startServer(t, Config{
+		Workers: 2, QueueDepth: 16,
+		RebalanceInterval: 2 * time.Millisecond,
+	})
+	client := ts.Client()
+	sid := openSession(t, client, ts.URL, cs, "")
+	base := ts.URL + "/v1/sessions/" + sid
+	baseline := residualStdDev(t, client, base)
+	pair := unbalance(t, client, base)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if sd := residualStdDev(t, client, base); math.Abs(sd-200) < 1e-9 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background rebalancer never balanced the session: stddev %v",
+				residualStdDev(t, client, base))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The registry tracked the migration: releasing B under its original
+	// ID must free the guests where they live NOW, restoring the primed
+	// residuals exactly.
+	if code, raw, _ := doJSON(t, client, "DELETE", base+"/envs/"+pair, nil); code != http.StatusNoContent {
+		t.Fatalf("release after rebalance: %d %s", code, raw)
+	}
+	if sd := residualStdDev(t, client, base); math.Abs(sd-baseline) > 1e-12 {
+		t.Fatalf("release after rebalance left stddev %v, want baseline %v", sd, baseline)
+	}
+}
+
+// TestRebalanceKillRestart is the crash-recovery acceptance check for
+// the migrate record: rebalance, kill the daemon without a snapshot
+// (acknowledged work is fsynced, nothing else), recover, and require the
+// residual vector byte-for-byte identical — then release the migrated
+// environment on the recovered daemon and require the primed baseline
+// back, which only holds if replay re-applied the exact move.
+func TestRebalanceKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	cs := rebalanceTestbed(t)
+	cfg := durableConfig(t, dir)
+
+	s1 := New(cfg)
+	if err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	client := ts1.Client()
+	sid := openSession(t, client, ts1.URL, cs, "")
+	base := ts1.URL + "/v1/sessions/" + sid
+	pair := unbalance(t, client, base)
+
+	code, raw, _ := doJSON(t, client, "POST", base+"/rebalance", nil)
+	if code != http.StatusOK {
+		t.Fatalf("rebalance: %d %s", code, raw)
+	}
+	var reb RebalanceResponse
+	if err := json.Unmarshal(raw, &reb); err != nil {
+		t.Fatal(err)
+	}
+	if reb.Moves != 1 {
+		t.Fatalf("rebalance moved %d guests, want 1", reb.Moves)
+	}
+	_, residuals1, _ := doJSON(t, client, "GET", base+"/residuals", nil)
+	ts1.Close()
+	// No s1.Close(): simulate a kill mid-flight. The acknowledged
+	// migrate record is fsynced; recovery replays it from the log alone
+	// (VerifyReplay cross-checks the objective accumulators too).
+
+	s2 := New(cfg)
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+		s1.Close()
+	})
+	client2 := ts2.Client()
+	base2 := ts2.URL + "/v1/sessions/" + sid
+
+	_, residuals2, _ := doJSON(t, client2, "GET", base2+"/residuals", nil)
+	if !bytes.Equal(residuals1, residuals2) {
+		t.Fatalf("residuals diverge across kill/restart:\n before %s\n after  %s", residuals1, residuals2)
+	}
+	if code, raw, _ := doJSON(t, client2, "DELETE", base2+"/envs/"+pair, nil); code != http.StatusNoContent {
+		t.Fatalf("release of migrated env after restart: %d %s", code, raw)
+	}
+	if sd := residualStdDev(t, client2, base2); sd > 1e-9 {
+		t.Fatalf("releasing the migrated env did not restore the baseline: stddev %v", sd)
+	}
+}
+
+// TestRebalanceKillDuringChurn crashes the daemon while the background
+// rebalancer is actively migrating between admissions and releases, then
+// requires recovery to reproduce the exact surviving state. The final
+// read happens after the scheduler quiesces, so the comparison is
+// deterministic even though the kill point relative to the last round is
+// not.
+func TestRebalanceKillDuringChurn(t *testing.T) {
+	dir := t.TempDir()
+	cs := rebalanceTestbed(t)
+	cfg := durableConfig(t, dir)
+	cfg.RebalanceInterval = time.Millisecond
+
+	s1 := New(cfg)
+	if err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	client := ts1.Client()
+	sid := openSession(t, client, ts1.URL, cs, "")
+	base := ts1.URL + "/v1/sessions/" + sid
+
+	// Churn: the rebalancer races these admissions and releases.
+	for i := 0; i < 5; i++ {
+		pinned := mapOne(t, client, base, pinEnv())
+		pair := mapOne(t, client, base, pairEnv())
+		if code, _, _ := doJSON(t, client, "DELETE", base+"/envs/"+pinned, nil); code != http.StatusNoContent {
+			t.Fatalf("release pins %d: %d", i, code)
+		}
+		if code, _, _ := doJSON(t, client, "DELETE", base+"/envs/"+pair, nil); code != http.StatusNoContent {
+			t.Fatalf("release pair %d: %d", i, code)
+		}
+	}
+	final := unbalance(t, client, base)
+
+	// Wait for the loop to finish balancing, then read the state of
+	// record and kill.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if sd := residualStdDev(t, client, base); math.Abs(sd-200) < 1e-9 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebalancer never converged: stddev %v", residualStdDev(t, client, base))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, residuals1, _ := doJSON(t, client, "GET", base+"/residuals", nil)
+	ts1.Close() // kill: no drain, no snapshot
+
+	s2 := New(cfg)
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+		s1.Close()
+	})
+	client2 := ts2.Client()
+	base2 := ts2.URL + "/v1/sessions/" + sid
+	_, residuals2, _ := doJSON(t, client2, "GET", base2+"/residuals", nil)
+	if !bytes.Equal(residuals1, residuals2) {
+		t.Fatalf("residuals diverge across churn kill/restart:\n before %s\n after  %s", residuals1, residuals2)
+	}
+	if code, _, _ := doJSON(t, client2, "DELETE", base2+"/envs/"+final, nil); code != http.StatusNoContent {
+		t.Fatalf("release of final env after restart: %d", code)
+	}
+}

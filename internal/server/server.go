@@ -30,6 +30,7 @@
 //	POST   /v1/sessions/{sid}/hosts/{node}/restore   readmit a failed host (409 if not failed)
 //	POST   /v1/sessions/{sid}/links/{edge}/fail      cut a physical link; evict + auto-repair
 //	POST   /v1/sessions/{sid}/links/{edge}/restore   readmit a cut link (409 if not cut)
+//	POST   /v1/sessions/{sid}/rebalance              run one rebalancing round now (plan + commit improving migrations)
 //	GET    /healthz                                  liveness (503 while draining)
 //	GET    /metrics                                  Prometheus text exposition
 //
@@ -61,6 +62,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
+	"repro/internal/rebalance"
 	"repro/internal/spec"
 	"repro/internal/virtual"
 	"repro/internal/wal"
@@ -98,6 +100,16 @@ type Config struct {
 	// (incremental objective vs recompute, environment registry vs
 	// active set) before the daemon serves.
 	VerifyReplay bool
+	// RebalanceInterval enables the background rebalancer: every open
+	// session gets a scheduler that periodically plans improving guest
+	// migrations off the live residuals and commits them through the
+	// optimistic migrate funnel. 0 disables the loop; the one-shot
+	// POST /v1/sessions/{sid}/rebalance endpoint works either way.
+	RebalanceInterval time.Duration
+	// RebalanceMaxMoves caps guest moves per rebalancing round (a
+	// destination swap counts as two). <= 0 means unbounded: a round
+	// plans until no move improves the objective.
+	RebalanceMaxMoves int
 	// Logf receives durability warnings and recovery progress; nil
 	// discards them.
 	Logf func(format string, args ...interface{})
@@ -177,6 +189,11 @@ type session struct {
 	clusterSpec spec.ClusterSpec
 	stddev      *metrics.Gauge
 
+	// rebal is the session's background rebalancer. Set before the
+	// session is published and never reassigned; its own mutex guards
+	// its state.
+	rebal *rebalance.Scheduler
+
 	mu      sync.Mutex
 	envs    map[string]*envRecord //hmn:guardedby mu
 	nextEnv int                   //hmn:guardedby mu
@@ -223,6 +240,13 @@ type Server struct {
 	mReplayRecords   *metrics.Counter
 	mFsyncLatency    *metrics.Histogram
 	mSnapshotLatency *metrics.Histogram
+
+	mRebalRounds      *metrics.Counter
+	mRebalPlanned     *metrics.Counter
+	mRebalMoves       *metrics.Counter
+	mRebalAborts      *metrics.Counter
+	mRebalImprovement *metrics.Gauge
+	mRebalLatency     *metrics.Histogram
 }
 
 // New builds a server and starts its worker pool.
@@ -265,6 +289,18 @@ func New(cfg Config) *Server {
 			"Wall time of write-ahead log fsyncs (group commits).", nil),
 		mSnapshotLatency: reg.Histogram("hmnd_snapshot_seconds",
 			"Wall time of full-state snapshots (rotate, export, publish, prune).", nil),
+		mRebalRounds: reg.Counter("hmnd_rebalance_rounds_total",
+			"Rebalancing rounds executed (background and one-shot)."),
+		mRebalPlanned: reg.Counter("hmnd_rebalance_planned_units_total",
+			"Migration units (single moves and swaps) proposed by the planner."),
+		mRebalMoves: reg.Counter("hmnd_rebalance_moves_total",
+			"Guest migrations committed by the rebalancer."),
+		mRebalAborts: reg.Counter("hmnd_rebalance_aborts_total",
+			"Planned units dropped because their optimistic commit lost its validation race."),
+		mRebalImprovement: reg.Gauge("hmnd_rebalance_objective_improvement",
+			"Cumulative Eq. (10) objective reduction realized by committed rebalancing plans."),
+		mRebalLatency: reg.Histogram("hmnd_rebalance_round_seconds",
+			"Wall time of rebalancing rounds (snapshot plus planning).", nil),
 	}
 	// With a data directory the daemon starts in "replaying": the /v1
 	// API answers 503 until Recover installs the recovered sessions.
@@ -279,6 +315,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{sid}/hosts/{node}/restore", s.handleRestoreHost)
 	s.mux.HandleFunc("POST /v1/sessions/{sid}/links/{edge}/fail", s.handleFailLink)
 	s.mux.HandleFunc("POST /v1/sessions/{sid}/links/{edge}/restore", s.handleRestoreLink)
+	s.mux.HandleFunc("POST /v1/sessions/{sid}/rebalance", s.handleRebalance)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
@@ -351,6 +388,10 @@ func (s *Server) Close() {
 	s.draining = true
 	close(s.queue)
 	s.admitMu.Unlock()
+	// Rebalancing pauses for good during drain: stop every scheduler
+	// (waiting out in-flight rounds) before the queue empties and the
+	// final snapshot exports state.
+	s.stopRebalancers()
 	s.wg.Wait()
 	if s.wal != nil {
 		if s.snapStop != nil {
@@ -568,6 +609,7 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 		envs: make(map[string]*envRecord),
 	}
 	s.attachWAL(sess)
+	s.attachRebalance(sess)
 	s.appendOpenLocked(sess)
 	s.sessions[id] = sess
 	s.mu.Unlock()
@@ -592,6 +634,7 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "durability barrier: "+err.Error())
 		return
 	}
+	s.startRebalance(sess)
 	writeJSON(w, http.StatusCreated, OpenSessionResponse{
 		ID:     id,
 		Mapper: mapperName,
@@ -798,6 +841,12 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
 		return
+	}
+	// Stop the rebalancer first: its commits would race the teardown's
+	// releases, and a migrate record after the close record would poison
+	// a later replay.
+	if sess.rebal != nil {
+		sess.rebal.Stop()
 	}
 	sess.mu.Lock()
 	sess.closed = true
@@ -1020,6 +1069,11 @@ func failureStatus(submitErr, opErr error) (code int, msg string, ok bool) {
 		// Nothing by that name in this session.
 		return http.StatusNotFound, opErr.Error(), false
 	case errors.Is(opErr, core.ErrAlreadyFailed), errors.Is(opErr, core.ErrNotFailed):
+		return http.StatusConflict, opErr.Error(), false
+	case errors.Is(opErr, core.ErrMigrateConflict), errors.Is(opErr, core.ErrNotImproving):
+		// A migrate plan drawn on a stale snapshot: the cluster moved on
+		// (guest relocated, or the plan stopped improving) before the
+		// commit validated. Retry against fresh state.
 		return http.StatusConflict, opErr.Error(), false
 	case errors.Is(opErr, core.ErrNoHostFits), errors.Is(opErr, core.ErrNoPath),
 		errors.Is(opErr, core.ErrEmptyPool):

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/spec"
 	"repro/internal/virtual"
@@ -54,6 +55,19 @@ func RecordFromEvent(sid string, overhead cluster.VMMOverhead, ev core.Event) *R
 	case core.EventRestore:
 		rec.Kind = KindRestore
 		rec.Restore = &RestoreRec{Kind: ev.Restore.Kind, Target: ev.Restore.Target}
+	case core.EventMigrate:
+		rec.Kind = KindMigrate
+		mr := &MigrateRec{
+			Moves: make([]MoveRec, 0, len(ev.Migrate.Moves)),
+			Envs:  make([]MigrateEnvRec, 0, len(ev.Migrate.Envs)),
+		}
+		for _, mv := range ev.Migrate.Moves {
+			mr.Moves = append(mr.Moves, MoveRec{Seq: mv.Seq, Guest: int(mv.Guest), From: int(mv.From), To: int(mv.To)})
+		}
+		for _, e := range ev.Migrate.Envs {
+			mr.Envs = append(mr.Envs, MigrateEnvRec{Seq: e.Seq, Tag: e.Tag, M: spec.FromMapping(e.M, overhead)})
+		}
+		rec.Migrate = mr
 	}
 	return rec
 }
@@ -197,6 +211,33 @@ func ReplayRecord(cs *core.Session, rec *Record) error {
 		return cs.ReplayFail(rec.Fail.Kind, rec.Fail.Target, rec.Fail.Evicted, repairs)
 	case KindRestore:
 		return cs.ReplayRestore(rec.Restore.Kind, rec.Restore.Target)
+	case KindMigrate:
+		moves := make([]core.GuestMove, 0, len(rec.Migrate.Moves))
+		for _, mv := range rec.Migrate.Moves {
+			moves = append(moves, core.GuestMove{
+				Seq:   mv.Seq,
+				Guest: virtual.GuestID(mv.Guest),
+				From:  graph.NodeID(mv.From),
+				To:    graph.NodeID(mv.To),
+			})
+		}
+		envs := make([]core.ReplayMigrateEnv, 0, len(rec.Migrate.Envs))
+		for _, er := range rec.Migrate.Envs {
+			// A migrate never changes the environment, so the record does
+			// not re-serialize it: the replacement mapping decodes against
+			// the env of the active mapping it replaces.
+			old := cs.MappingBySeq(er.Seq)
+			if old == nil {
+				return fmt.Errorf("wal: session %s migrate of seq %d, which is not active: %w",
+					rec.SID, er.Seq, core.ErrReplayDiverged)
+			}
+			m, err := er.M.ToMapping(c, old.Env)
+			if err != nil {
+				return fmt.Errorf("wal: session %s migrate of seq %d: %w", rec.SID, er.Seq, err)
+			}
+			envs = append(envs, core.ReplayMigrateEnv{Seq: er.Seq, Tag: er.Tag, M: m})
+		}
+		return cs.ReplayMigrate(moves, envs)
 	default:
 		return fmt.Errorf("wal: session %s: unknown record kind %q", rec.SID, rec.Kind)
 	}

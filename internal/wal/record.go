@@ -61,6 +61,9 @@ const (
 	KindFail = "fail"
 	// KindRestore is a host or link readmission.
 	KindRestore = "restore"
+	// KindMigrate is one committed rebalance plan: guests relocated and
+	// their environments' mappings replaced under unchanged seqs/tags.
+	KindMigrate = "migrate"
 )
 
 // Record is one logged operation. Exactly one payload field is set,
@@ -80,6 +83,7 @@ type Record struct {
 	Release *ReleaseRec `json:"release,omitempty"`
 	Fail    *FailRec    `json:"fail,omitempty"`
 	Restore *RestoreRec `json:"restore,omitempty"`
+	Migrate *MigrateRec `json:"migrate,omitempty"`
 }
 
 // OpenRec declares a session's immutable configuration: everything a
@@ -138,6 +142,33 @@ type RepairRec struct {
 type RestoreRec struct {
 	Kind   string `json:"restore_kind"`
 	Target int    `json:"target"`
+}
+
+// MigrateRec is one committed migrate plan (core.MigrateGuests): the
+// guest-level moves in canonical commit order and, per touched
+// environment, the replacement mapping — again its *effect*, with the
+// exact physical edges, so replay reserves the same bandwidth on the
+// same links without re-running the router. The environment itself is
+// not re-serialized: a migrate never changes it, and replay takes it
+// from the active mapping the record replaces.
+type MigrateRec struct {
+	Moves []MoveRec       `json:"moves"`
+	Envs  []MigrateEnvRec `json:"envs"`
+}
+
+// MoveRec is one guest relocation of a migrate plan.
+type MoveRec struct {
+	Seq   uint64 `json:"seq"`
+	Guest int    `json:"guest"`
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+}
+
+// MigrateEnvRec is one environment whose mapping a migrate replaced.
+type MigrateEnvRec struct {
+	Seq uint64           `json:"seq"`
+	Tag string           `json:"tag,omitempty"`
+	M   spec.MappingSpec `json:"mapping"`
 }
 
 // castagnoli is the CRC-32C table; Castagnoli's polynomial has hardware

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# rebalance_smoke.sh — crash/recovery smoke for the background rebalancer.
+#
+# Boots hmnd with the background rebalancer enabled, churns a session
+# (map, map, map, release the middle tenant) so the packing develops the
+# imbalance the rebalancer exists to fix, drains the one-shot rebalance
+# endpoint to a local optimum, kills the daemon with SIGKILL, verifies
+# the data directory with hmnwal (the migrate records must land in the
+# log), restarts with -replay, and asserts the recovered daemon answers
+# byte-identical residuals — migrations and all — then keeps serving.
+#
+# Run from the repo root (or via `make rebalance-smoke`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null
+    rm -rf "$workdir"
+    return 0
+}
+trap cleanup EXIT
+
+addr=127.0.0.1:18473
+base=http://$addr
+
+echo "--- build hmnd, hmnwal and the specs"
+go build -o "$workdir/hmnd" ./cmd/hmnd
+go build -o "$workdir/hmnwal" ./cmd/hmnwal
+go run ./cmd/hmngen -cluster "$workdir/cluster.json" -topology torus -hosts 40
+go run ./cmd/hmngen -env "$workdir/env-a.json" -class high -guests 30
+go run ./cmd/hmngen -env "$workdir/env-b.json" -class high -guests 20 -seed 7
+
+start_daemon() {
+    "$workdir/hmnd" -addr "$addr" -data-dir "$workdir/data" \
+        -rebalance-interval 5ms -rebalance-max-moves 8 "$@" &
+    pid=$!
+    for _ in $(seq 1 100); do
+        body=$(curl -fsS "$base/v1/healthz" 2>/dev/null || true)
+        if [ "$body" = "serving" ]; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "daemon never reached 'serving'" >&2
+    exit 1
+}
+
+map_env() {
+    curl -fsS -X POST "$base/v1/sessions/s1/envs" \
+        -d "{\"env\": $(cat "$1")}" |
+        grep -q "\"id\": *\"$2\""
+}
+
+echo "--- boot with the rebalancer on, churn a session"
+start_daemon
+curl -fsS -X POST "$base/v1/sessions" \
+    -d "{\"cluster\": $(cat "$workdir/cluster.json"), \"mapper\": \"HMN\"}" |
+    grep -q '"id": *"s1"'
+map_env "$workdir/env-a.json" e1
+map_env "$workdir/env-b.json" e2
+map_env "$workdir/env-a.json" e3
+code=$(curl -sS -X DELETE "$base/v1/sessions/s1/envs/e2" -o /dev/null -w '%{http_code}')
+[ "$code" = "204" ] || { echo "release of e2: HTTP $code" >&2; exit 1; }
+
+echo "--- drain the one-shot endpoint to a local optimum"
+total=0
+for _ in $(seq 1 50); do
+    moves=$(curl -fsS -X POST "$base/v1/sessions/s1/rebalance" |
+        sed -n 's/.*"moves": *\([0-9]*\).*/\1/p')
+    [ -n "$moves" ] || { echo "rebalance response had no move count" >&2; exit 1; }
+    total=$((total + moves))
+    [ "$moves" = "0" ] && break
+done
+[ "$moves" = "0" ] || { echo "rebalancer never converged in 50 rounds" >&2; exit 1; }
+echo "    rebalancer committed $total moves"
+curl -fsS "$base/v1/sessions/s1/residuals" >"$workdir/residuals.before"
+
+echo "--- kill -9, then inspect the directory read-only"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+"$workdir/hmnwal" dump "$workdir/data" >/dev/null
+"$workdir/hmnwal" verify "$workdir/data"
+
+echo "--- restart with -replay, compare recovered state"
+start_daemon -replay
+curl -fsS "$base/v1/sessions/s1/residuals" >"$workdir/residuals.after"
+cmp "$workdir/residuals.before" "$workdir/residuals.after"
+map_env "$workdir/env-b.json" e4
+code=$(curl -sS -X DELETE "$base/v1/sessions/s1/envs/e4" -o /dev/null -w '%{http_code}')
+[ "$code" = "204" ] || { echo "release of e4: HTTP $code" >&2; exit 1; }
+
+echo "--- graceful shutdown (drain, final snapshot) and re-verify"
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+"$workdir/hmnwal" verify "$workdir/data"
+echo "rebalance smoke OK"
