@@ -1,6 +1,6 @@
 GOPATH_BIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test lint vet fuzz clean bench-baselines bench-compare replay-smoke rebalance-smoke
+.PHONY: build test lint vet fuzz clean bench-allocs bench-baselines bench-compare replay-smoke rebalance-smoke
 
 # Relative drift (percent) bench-compare tolerates on deterministic
 # metrics before failing. Timings never gate.
@@ -24,6 +24,12 @@ vet:
 
 fuzz:
 	go test -run '^$$' -fuzz FuzzDecodeSpec -fuzztime 30s ./internal/spec
+
+## bench-allocs gates the zero-allocation admission path: the steady-state
+## Map+Release cycle and the failure-repair reroute cycle must stay within
+## the allocs/op budgets of internal/core/allocs_test.go.
+bench-allocs:
+	go test -run 'AllocsBudget' -v ./internal/core/
 
 ## bench-baselines regenerates the committed benchmark baselines. Run it
 ## when a change legitimately moves the seeded sweep (new scenarios, new

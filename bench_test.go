@@ -23,6 +23,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -346,24 +347,51 @@ func BenchmarkExperimentSim(b *testing.B) {
 	}
 }
 
-// BenchmarkMap measures the full HMN pipeline on the 2000-guest
-// low-level scenario (the paper's heaviest row) on the switched cluster —
-// the headline hot path this repo's incremental kernels target. Compare
-// against the map_seconds series of BENCH_scale_seed1.json.
+// BenchmarkMap measures the full HMN pipeline — the headline hot path
+// this repo's incremental kernels target — at three scales: the paper's
+// heaviest row (2000 guests on the 40-host switched cluster), then 5000
+// and 10000 guests on 100- and 200-host fabrics matching the extended
+// BENCH_scale_seed1.json scenarios (density shrinks with guest count to
+// hold ~10 links/guest, and the big fabrics use 10G/1ms trunks — the
+// same parameters exp.ScaleScenarios uses, without which the aggregate
+// virtual bandwidth saturates the physical fabric and mapping correctly
+// fails). The large cases report allocations and exercise the parallel
+// Networking stage via RouteWorkers. Compare against the map_seconds
+// series of BENCH_scale_seed1.json.
 func BenchmarkMap(b *testing.B) {
-	rng := rand.New(rand.NewSource(9))
-	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
-	c, err := topology.Switched(specs, 64, workload.PhysLinkBW, workload.PhysLinkLat)
-	if err != nil {
-		b.Fatal(err)
+	cases := []struct {
+		name    string
+		hosts   int
+		guests  int
+		density float64
+		linkBW  float64
+		linkLat float64
+		workers int
+	}{
+		{"2000g_40h", 40, 2000, 0.01, workload.PhysLinkBW, workload.PhysLinkLat, 0},
+		{"5000g_100h", 100, 5000, 0.004, 10000, 1, 0},
+		{"10000g_200h", 200, 10000, 0.002, 10000, 1, 0},
+		{"10000g_200h_par", 200, 10000, 0.002, 10000, 1, runtime.GOMAXPROCS(0)},
 	}
-	env := workload.GenerateEnv(workload.LowLevelParams(2000, 0.01), rng)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := (&core.HMN{}).Map(c, env); err != nil {
-			b.Fatal(err)
-		}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			params := workload.PaperClusterParams()
+			params.Hosts = tc.hosts
+			specs := workload.GenerateHosts(params, rng)
+			c, err := topology.Switched(specs, 64, tc.linkBW, tc.linkLat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := workload.GenerateEnv(workload.LowLevelParams(tc.guests, tc.density), rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (&core.HMN{RouteWorkers: tc.workers}).Map(c, env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -51,6 +51,7 @@ func main() {
 		reservations = flag.Bool("reservations", false, "run the bandwidth-reservation ablation (reserved vs best-effort transfers)")
 		churn        = flag.Bool("churn", false, "run the admission churn benchmark, bare vs background rebalancer")
 		churnOps     = flag.Int("churn-ops", 200, "churn operations for the -churn benchmark")
+		routeWorkers = flag.Int("route-workers", 0, "HMN parallel Networking workers (<= 1 = serial; objectives are bit-identical, only timings move)")
 	)
 	flag.Parse()
 
@@ -90,6 +91,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.MaxTries = *maxTries
 	cfg.Workers = *workers
+	cfg.RouteWorkers = *routeWorkers
 	if *quick {
 		cfg.Scenarios = exp.QuickScenarios()
 	}

@@ -49,10 +49,21 @@
 //
 // Profiling: -pprof-addr (off by default) serves net/http/pprof on its
 // own listener, kept away from the service port so profiling endpoints
-// are never exposed to tenants by accident:
+// are never exposed to tenants by accident. The index serves every
+// runtime profile — allocation profiles under load come from
+// /debug/pprof/allocs, and the contention profiles activate behind
+// -mutex-profile-fraction / -block-profile-rate (both sampled, both off
+// by default because sampling costs the hot path):
 //
-//	hmnd -addr :8080 -pprof-addr 127.0.0.1:6060
+//	hmnd -addr :8080 -pprof-addr 127.0.0.1:6060 -mutex-profile-fraction 100 -block-profile-rate 10000
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/allocs
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/mutex
+//
+// Parallel routing: -route-workers N routes each admission's virtual
+// links on N worker goroutines with a deterministic in-order merge —
+// mapping output is bit-identical to the serial stage for any worker
+// count, so the flag is purely a throughput knob.
 //
 // See the README's "hmnd service" section for a curl walkthrough.
 package main
@@ -67,6 +78,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -87,6 +99,9 @@ func main() {
 		replay    = flag.Bool("replay", false, "verify every recovered session against a recompute before serving (needs -data-dir)")
 		rebEvery  = flag.Duration("rebalance-interval", 0, "background rebalancing round interval per session (0 = disabled; one-shot endpoint always available)")
 		rebMoves  = flag.Int("rebalance-max-moves", 8, "guest moves per rebalancing round, swaps counting two (0 = unbounded)")
+		routeWkrs = flag.Int("route-workers", 0, "parallel Networking stage workers per admission (<= 1 = serial; output is bit-identical either way)")
+		mutexFrac = flag.Int("mutex-profile-fraction", 0, "runtime mutex profile sampling fraction for /debug/pprof/mutex (0 = disabled)")
+		blockRate = flag.Int("block-profile-rate", 0, "runtime block profile sampling rate in ns for /debug/pprof/block (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -96,6 +111,9 @@ func main() {
 	}
 	if err == nil {
 		err = rebalanceConfig(&cfg, *rebEvery, *rebMoves)
+	}
+	if err == nil {
+		err = profileConfig(&cfg, *routeWkrs, *mutexFrac, *blockRate)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hmnd: %v\n", err)
@@ -151,6 +169,30 @@ func rebalanceConfig(cfg *server.Config, interval time.Duration, maxMoves int) e
 	}
 	cfg.RebalanceInterval = interval
 	cfg.RebalanceMaxMoves = maxMoves
+	return nil
+}
+
+// profileConfig validates the routing/profiling flags and arms the
+// runtime's contention profilers. The rates take effect process-wide
+// immediately; the profiles themselves are only reachable when
+// -pprof-addr serves them.
+func profileConfig(cfg *server.Config, routeWorkers, mutexFrac, blockRate int) error {
+	if routeWorkers < 0 {
+		return fmt.Errorf("-route-workers must be >= 0, got %d", routeWorkers)
+	}
+	if mutexFrac < 0 {
+		return fmt.Errorf("-mutex-profile-fraction must be >= 0, got %d", mutexFrac)
+	}
+	if blockRate < 0 {
+		return fmt.Errorf("-block-profile-rate must be >= 0, got %d", blockRate)
+	}
+	cfg.RouteWorkers = routeWorkers
+	if mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(mutexFrac)
+	}
+	if blockRate > 0 {
+		runtime.SetBlockProfileRate(blockRate)
+	}
 	return nil
 }
 

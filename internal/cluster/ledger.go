@@ -63,6 +63,25 @@ type Ledger struct {
 	// stage's incremental host order hangs off it. Clones drop the hook:
 	// it closes over state owned by this ledger's consumer.
 	procHook func(host int) //hmn:guardedby session
+
+	// Write journal backing copy-on-write snapshots (snapshot.go). When
+	// enabled, every per-host and per-edge mutation appends a packed
+	// entry so SyncFrom can re-point a stale snapshot at this ledger by
+	// copying only the rows that changed instead of every row. jGen
+	// counts journal truncations: a snapshot pinned before a truncation
+	// can no longer trust the journal and falls back to a full CopyFrom.
+	jEnabled bool    //hmn:guardedby session
+	jGen     uint64  //hmn:guardedby session
+	jEntries []int32 //hmn:guardedby session
+	// jOverflow records that this ledger's own journal truncated since
+	// its last sync, losing the record of its own speculative writes.
+	jOverflow bool //hmn:guardedby session
+	// syncGen/syncOff pin a snapshot ledger to a position in its source
+	// ledger's journal: entries at or past syncOff (while the source is
+	// still on generation syncGen) are exactly the rows the source
+	// changed since this snapshot last matched it.
+	syncGen uint64 //hmn:guardedby session
+	syncOff int    //hmn:guardedby session
 }
 
 // kahanSum is a compensated float64 accumulator: it keeps the running
@@ -122,6 +141,7 @@ func (l *Ledger) applyProc(i int, delta float64) {
 	l.proc[i] = nw
 	l.sumProc.add(delta)
 	l.sumProcSq.add(nw*nw - old*old)
+	l.jHost(i)
 	if l.procHook != nil {
 		l.procHook(i)
 	}
@@ -272,7 +292,9 @@ func (l *Ledger) Fits(node graph.NodeID, mem int64, stor float64) bool {
 //
 //hmn:locked session
 func (l *Ledger) Quarantine(node graph.NodeID) {
-	l.quarantined[l.c.hostIdx(node)] = true
+	i := l.c.hostIdx(node)
+	l.quarantined[i] = true
+	l.jHost(i)
 }
 
 // Quarantined reports whether the host at node is quarantined.
@@ -286,7 +308,9 @@ func (l *Ledger) Quarantined(node graph.NodeID) bool {
 //
 //hmn:locked session
 func (l *Ledger) Unquarantine(node graph.NodeID) {
-	l.quarantined[l.c.hostIdx(node)] = false
+	i := l.c.hostIdx(node)
+	l.quarantined[i] = false
+	l.jHost(i)
 }
 
 // ReserveGuest deducts a guest's demands from the host at node. It returns
@@ -373,6 +397,7 @@ func (l *Ledger) CutEdge(edgeID int) {
 	l.cutCount++
 	l.genSeq++
 	l.topoGen = l.genSeq
+	l.jEdge(edgeID)
 }
 
 // EdgeCut reports whether the edge is currently cut.
@@ -392,6 +417,7 @@ func (l *Ledger) RestoreEdge(edgeID int) {
 	}
 	l.cutEdges[edgeID] = false
 	l.cutCount--
+	l.jEdge(edgeID)
 	if l.cutCount == 0 {
 		l.topoGen = 0
 		return
@@ -446,6 +472,7 @@ func (l *Ledger) ReserveBandwidth(path graph.Path, bw float64) error {
 	}
 	for _, eid := range path.Edges {
 		l.bw[eid] -= bw
+		l.jEdge(eid)
 	}
 	return nil
 }
@@ -457,5 +484,6 @@ func (l *Ledger) ReserveBandwidth(path graph.Path, bw float64) error {
 func (l *Ledger) ReleaseBandwidth(path graph.Path, bw float64) {
 	for _, eid := range path.Edges {
 		l.bw[eid] += bw
+		l.jEdge(eid)
 	}
 }

@@ -66,7 +66,7 @@ func (s *Session) MapBatchTagged(envs []*virtual.Env, tags []string) (maps []*ma
 
 	start := time.Now() //hmn:wallclock
 	s.mu.Lock()
-	snap := s.led.Clone()
+	snap := s.snapshotLocked()
 	ver := s.version
 	s.mu.Unlock()
 	bst.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
@@ -89,7 +89,10 @@ func (s *Session) MapBatchTagged(envs []*virtual.Env, tags []string) (maps []*ma
 		go func(i int) {
 			defer wg.Done()
 			m := mapping.New(s.c, envs[i])
-			if err := s.mapper.mapOnLedger(leds[i], envs[i], m, s.ar); err != nil {
+			ms := getMapScratch()
+			err := s.mapper.mapOnLedger(leds[i], envs[i], m, s.ar, ms)
+			putMapScratch(ms)
+			if err != nil {
 				attemptErr[i] = err
 				return
 			}
@@ -100,6 +103,7 @@ func (s *Session) MapBatchTagged(envs []*virtual.Env, tags []string) (maps []*ma
 
 	start = time.Now() //hmn:wallclock
 	s.mu.Lock()
+	s.freeSnapshotLocked(snap)
 	// While nothing has committed since the snapshot — no concurrent
 	// admission and no earlier batch member — the snapshot residuals ARE
 	// the live residuals, so a mapping failure against them is exactly
@@ -126,9 +130,13 @@ func (s *Session) MapBatchTagged(envs []*virtual.Env, tags []string) (maps []*ma
 		// the lock we already hold.
 		bst.Fallbacks++
 		s.fallbacks.Add(1)
-		attempt := s.led.Clone()
+		attempt := s.snapshotLocked()
 		m := mapping.New(s.c, envs[i])
-		if err := s.mapper.mapOnLedger(attempt, envs[i], m, s.ar); err != nil {
+		ms := getMapScratch()
+		err := s.mapper.mapOnLedger(attempt, envs[i], m, s.ar, ms)
+		putMapScratch(ms)
+		s.freeSnapshotLocked(attempt)
+		if err != nil {
 			errs[i] = err
 			continue
 		}

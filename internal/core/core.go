@@ -116,6 +116,12 @@ type HMN struct {
 	// termination rule ("while the load balance factor improves").
 	MaxMigrations int
 
+	// RouteWorkers > 1 routes the Networking stage's inter-host links
+	// speculatively on that many goroutines with a deterministic
+	// in-order merge (parroute.go); results are bit-identical to the
+	// sequential stage for any worker count. 0 or 1 routes sequentially.
+	RouteWorkers int
+
 	// ExactObjective makes every Migration what-if recompute the Eq. (10)
 	// objective from scratch (population stddev over all residuals)
 	// instead of using the ledger's O(1) running-sum delta — a debug mode
@@ -168,13 +174,13 @@ func (h *HMN) MapWithStats(c *cluster.Cluster, v *virtual.Env) (*mapping.Mapping
 	if !h.DisableMigration {
 		t1 := time.Now() //hmn:wallclock
 		st.Migration.ObjectiveBefore = mapping.Objective(led.ResidualProcAll())
-		st.Migration.Moves = migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope, hi, h.ExactObjective, nil)
+		st.Migration.Moves = migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope, hi, h.ExactObjective, nil, nil)
 		st.Migration.ObjectiveAfter = mapping.Objective(led.ResidualProcAll())
 		st.MigrationSeconds = time.Since(t1).Seconds() //hmn:wallclock
 	}
 
 	t2 := time.Now() //hmn:wallclock
-	if err := network(led, v, m.GuestHost, m.LinkPath, h.NetworkOrder, h.AStar, h.Rand, nil); err != nil {
+	if err := network(led, v, m.GuestHost, m.LinkPath, h.NetworkOrder, h.AStar, h.Rand, nil, h.RouteWorkers, nil); err != nil {
 		st.NetworkingSeconds = time.Since(t2).Seconds() //hmn:wallclock
 		return nil, st, fmt.Errorf("HMN networking stage: %w", err)
 	}
@@ -198,7 +204,7 @@ func HostingStage(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID) er
 func MigrationStage(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID) int {
 	hi := newHostIndex(led, true)
 	defer led.SetProcHook(nil)
-	return migrateScoped(led, v, assign, LoadResidualMIPS, 0, ScopeMostLoaded, hi, false, nil)
+	return migrateScoped(led, v, assign, LoadResidualMIPS, 0, ScopeMostLoaded, hi, false, nil, nil)
 }
 
 var _ Mapper = (*HMN)(nil)

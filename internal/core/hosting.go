@@ -30,10 +30,23 @@ func hosting(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, resort 
 // as mapping.Unassigned; on success every entry holds a host node and the
 // ledger reflects all reservations.
 func hostingIndexed(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, hi *hostIndex) error {
-	links := append([]virtual.Link(nil), v.Links()...)
+	return hostingIndexedIn(led, v, assign, hi, nil)
+}
+
+// hostingIndexedIn is hostingIndexed drawing its link buffer from ms
+// (nil allocates per call).
+func hostingIndexedIn(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, hi *hostIndex, ms *mapScratch) error {
+	var links []virtual.Link
+	if ms != nil {
+		ms.links = linksFor(ms.links, len(v.Links()))
+		links = ms.links
+		copy(links, v.Links())
+	} else {
+		links = append([]virtual.Link(nil), v.Links()...)
+	}
 	// (BW desc, ID asc) is a strict total order, so the packed-key sort
 	// yields the same permutation the seed's stable sort did.
-	sortLinksByBW(links, true)
+	sortLinksByBWIn(links, true, ms)
 
 	for _, link := range links {
 		a, b := v.Guest(link.From), v.Guest(link.To)
@@ -104,10 +117,11 @@ func hostingIndexed(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, 
 }
 
 // both aggregates the demands of two guests so firstFit can test whether
-// a single host holds the pair.
+// a single host holds the pair. The pair needs no name: the fit tests
+// read only the resource fields, and errors always name a real guest —
+// concatenating names here was a per-pair allocation on the hot path.
 func both(a, b virtual.Guest) virtual.Guest {
 	return virtual.Guest{
-		Name: a.Name + "+" + b.Name,
 		Proc: a.Proc + b.Proc,
 		Mem:  a.Mem + b.Mem,
 		Stor: a.Stor + b.Stor,

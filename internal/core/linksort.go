@@ -17,20 +17,42 @@ import (
 // order, so the pair key realises exactly the comparator's total order
 // and the resulting permutation is unchanged.
 func sortLinksByBW(links []virtual.Link, desc bool) {
-	type kv struct {
-		key uint64
-		id  int32
-		idx int32
+	sortLinksByBWIn(links, desc, nil)
+}
+
+// linkKV is the packed (key, ID, position) triple sortLinksByBWIn sorts
+// instead of the multi-word Link structs.
+type linkKV struct {
+	key uint64
+	id  int32
+	idx int32
+}
+
+// sortLinksByBWIn is sortLinksByBW drawing its key and gather buffers
+// from ms, so the admission hot path sorts without allocating. ms may
+// be nil (one-shot callers), which allocates per call as before.
+func sortLinksByBWIn(links []virtual.Link, desc bool, ms *mapScratch) {
+	var kvs []linkKV
+	var out []virtual.Link
+	if ms != nil {
+		if cap(ms.kvs) < len(links) {
+			ms.kvs = make([]linkKV, len(links))
+		}
+		ms.kvs = ms.kvs[:len(links)]
+		ms.gather = linksFor(ms.gather, len(links))
+		kvs, out = ms.kvs, ms.gather
+	} else {
+		kvs = make([]linkKV, len(links))
+		out = make([]virtual.Link, len(links))
 	}
-	kvs := make([]kv, len(links))
 	for i, l := range links {
 		k := floatOrderKey(l.BW)
 		if desc {
 			k = ^k
 		}
-		kvs[i] = kv{key: k, id: int32(l.ID), idx: int32(i)}
+		kvs[i] = linkKV{key: k, id: int32(l.ID), idx: int32(i)}
 	}
-	slices.SortFunc(kvs, func(a, b kv) int {
+	slices.SortFunc(kvs, func(a, b linkKV) int {
 		if a.key != b.key {
 			if a.key < b.key {
 				return -1
@@ -39,7 +61,6 @@ func sortLinksByBW(links []virtual.Link, desc bool) {
 		}
 		return int(a.id) - int(b.id)
 	})
-	out := make([]virtual.Link, len(links))
 	for i, p := range kvs {
 		out[i] = links[p.idx]
 	}

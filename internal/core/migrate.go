@@ -141,9 +141,14 @@ func (s *Session) migrateAttempt(norm []GuestMove) (res *MigrateResult, retry bo
 		s.mu.Unlock()
 		return nil, false, err
 	}
-	snap := s.led.Clone()
+	snap := s.snapshotLocked()
 	ver := s.version
 	s.mu.Unlock()
+	freeSnap := func() {
+		s.mu.Lock()
+		s.freeSnapshotLocked(snap)
+		s.mu.Unlock()
+	}
 
 	// Speculate on the private snapshot: free the moving guests and the
 	// affected links' bandwidth, re-reserve at the destinations, and
@@ -160,13 +165,18 @@ func (s *Session) migrateAttempt(norm []GuestMove) (res *MigrateResult, retry bo
 			g := env.Guest(mv.Guest)
 			snap.ReleaseGuest(mv.From, g.Proc, g.Mem, g.Stor)
 			if rerr := snap.ReserveGuest(mv.To, g.Proc, g.Mem, g.Stor); rerr != nil {
+				freeSnap()
 				return nil, true, fmt.Errorf("%w: destination %d rejected guest %d of seq %d: %v",
 					ErrMigrateConflict, mv.To, mv.Guest, mv.Seq, rerr)
 			}
 			nm.GuestHost[mv.Guest] = mv.To
 		}
 		if len(es.links) > 0 {
-			if rerr := s.mapper.rerouteOnLedger(snap, env, nm.GuestHost, nm.LinkPath, es.links, s.ar); rerr != nil {
+			ms := getMapScratch()
+			rerr := s.mapper.rerouteOnLedger(snap, env, nm.GuestHost, nm.LinkPath, es.links, s.ar, ms)
+			putMapScratch(ms)
+			if rerr != nil {
+				freeSnap()
 				return nil, true, fmt.Errorf("core: migrate re-route for seq %d: %w", es.seq, rerr)
 			}
 		}
@@ -175,6 +185,7 @@ func (s *Session) migrateAttempt(norm []GuestMove) (res *MigrateResult, retry bo
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.freeSnapshotLocked(snap)
 	if s.version != ver {
 		// The state moved while we routed. Committed mappings are
 		// immutable and every state change that touches an environment

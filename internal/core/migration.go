@@ -69,7 +69,7 @@ type moveStep struct {
 // The function mutates assign and the ledger in place. It cannot fail:
 // a migration either strictly improves the objective or is not performed.
 func migrate(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric LoadMetric, maxMoves int) int {
-	return migrateScoped(led, v, assign, metric, maxMoves, ScopeMostLoaded, nil, false, nil)
+	return migrateScoped(led, v, assign, metric, maxMoves, ScopeMostLoaded, nil, false, nil, nil)
 }
 
 // migrateScoped is migrate with a selectable donor scope (see
@@ -86,17 +86,47 @@ func migrate(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric 
 // Under the paper's LoadResidualMIPS metric, "ascending load" is exactly
 // the host index's (residual desc, node asc) order, so a live tracking
 // index replaces the per-attempt destination sort outright.
-func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric LoadMetric, maxMoves int, scope MigrationScope, hi *hostIndex, exact bool, trace *[]moveStep) int {
+func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, metric LoadMetric, maxMoves int, scope MigrationScope, hi *hostIndex, exact bool, trace *[]moveStep, ms *mapScratch) int {
 	c := led.Cluster()
-	hosts := c.HostNodes()
-	if len(hosts) < 2 {
+	nh := c.NumHosts()
+	if nh < 2 {
 		return 0
 	}
 
+	// The stage's working sets — host node list, per-host guest rosters,
+	// the donor worklist and the live-order snapshot — come from ms when
+	// a session threads one through, so the admission hot path reuses
+	// them; nil allocates per call as before. Rosters are keyed by dense
+	// host index (the map the seed kept allocated one bucket chain plus
+	// one growing slice per host per admission).
+	var hosts, donors, liveSnap []graph.NodeID
+	var onHost [][]virtual.GuestID
+	if ms != nil {
+		ms.migHosts = nodesFor(ms.migHosts, nh)
+		hosts = ms.migHosts
+		if cap(ms.migOnHost) < nh {
+			ms.migOnHost = make([][]virtual.GuestID, nh)
+		}
+		ms.migOnHost = ms.migOnHost[:nh]
+		onHost = ms.migOnHost
+		for i := range onHost {
+			onHost[i] = onHost[i][:0]
+		}
+		ms.migDonors = nodesFor(ms.migDonors, nh)
+		donors = ms.migDonors[:0]
+		ms.migLive = nodesFor(ms.migLive, nh)
+		liveSnap = ms.migLive[:0]
+	} else {
+		hosts = make([]graph.NodeID, nh)
+		onHost = make([][]virtual.GuestID, nh)
+	}
+	for i, h := range c.Hosts() {
+		hosts[i] = h.Node
+	}
+
 	// Guests per host, maintained incrementally.
-	onHost := make(map[graph.NodeID][]virtual.GuestID, len(hosts))
 	for g, node := range assign {
-		onHost[node] = append(onHost[node], virtual.GuestID(g))
+		onHost[c.HostIdx(node)] = append(onHost[c.HostIdx(node)], virtual.GuestID(g))
 	}
 
 	load := func(node graph.NodeID) float64 {
@@ -137,7 +167,6 @@ func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, m
 	// buffer is reused across attempts, so the snapshot costs a copy,
 	// not an allocation.
 	liveIndex := hi != nil && hi.track && metric != LoadUtilization && !exact
-	var liveSnap []graph.NodeID
 	destinations := func() []graph.NodeID {
 		if liveIndex {
 			liveSnap = append(liveSnap[:0], hi.order...)
@@ -163,7 +192,7 @@ func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, m
 	// objective. Reports whether a move was committed.
 	tryMoveFrom := func(origin graph.NodeID, current float64) bool {
 		eps := ImprovementEps(current)
-		guests := onHost[origin]
+		guests := onHost[c.HostIdx(origin)]
 		// Victim: guest with the smallest total vbw to co-located guests.
 		victim := guests[0]
 		best := coLocatedBW(v, assign, victim)
@@ -209,8 +238,9 @@ func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, m
 			}
 			if improves {
 				assign[victim] = dest
-				onHost[origin] = removeGuest(onHost[origin], victim)
-				onHost[dest] = append(onHost[dest], victim)
+				oi, di := c.HostIdx(origin), c.HostIdx(dest)
+				onHost[oi] = removeGuest(onHost[oi], victim)
+				onHost[di] = append(onHost[di], victim)
 				if trace != nil {
 					*trace = append(*trace, moveStep{guest: victim, from: origin, to: dest})
 				}
@@ -231,9 +261,9 @@ func migrateScoped(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, m
 		// for determinism). Hosts without guests are skipped — on a
 		// heterogeneous cluster a weak host may have the least residual
 		// CPU while running nothing, and it offers no guest to migrate.
-		var donors []graph.NodeID
-		for _, n := range hosts {
-			if len(onHost[n]) > 0 {
+		donors = donors[:0]
+		for i, n := range hosts {
+			if len(onHost[i]) > 0 {
 				donors = append(donors, n)
 			}
 		}

@@ -86,7 +86,7 @@ func TestMigrateSnapshotSurvivesMidScanReserveFailure(t *testing.T) {
 	led.SetProcHook(sabotageHook(t, led, hi.fix, h[1], h[2]))
 
 	var trace []moveStep
-	moves := migrateScoped(led, v, assign, LoadResidualMIPS, 0, ScopeMostLoaded, hi, false, &trace)
+	moves := migrateScoped(led, v, assign, LoadResidualMIPS, 0, ScopeMostLoaded, hi, false, &trace, nil)
 
 	// Scan order at the start of the attempt: h1 (900), h2 (800), h3,
 	// h0. h1 improves, its reserve fails under the quarantine; the next
@@ -126,13 +126,13 @@ func TestMigrateLiveIndexMatchesUnindexedUnderMidScanChurn(t *testing.T) {
 	defer ledA.SetProcHook(nil)
 	ledA.SetProcHook(sabotageHook(t, ledA, hiA.fix, h[1], h[2]))
 	var traceA []moveStep
-	movesA := migrateScoped(ledA, v, assignA, LoadResidualMIPS, 0, ScopeMostLoaded, hiA, false, &traceA)
+	movesA := migrateScoped(ledA, v, assignA, LoadResidualMIPS, 0, ScopeMostLoaded, hiA, false, &traceA, nil)
 
 	ledB, _, assignB, _ := migrationFixture(t, 100, 10)
 	ledB.SetProcHook(sabotageHook(t, ledB, nil, h[1], h[2]))
 	defer ledB.SetProcHook(nil)
 	var traceB []moveStep
-	movesB := migrateScoped(ledB, v, assignB, LoadResidualMIPS, 0, ScopeMostLoaded, nil, false, &traceB)
+	movesB := migrateScoped(ledB, v, assignB, LoadResidualMIPS, 0, ScopeMostLoaded, nil, false, &traceB, nil)
 
 	if movesA != movesB || !slices.Equal(traceA, traceB) {
 		t.Fatalf("live index diverged from per-attempt sort:\n indexed   %d moves %v\n unindexed %d moves %v",
@@ -215,8 +215,8 @@ func TestQuickMigrateExactMatchesIncrementalSequences(t *testing.T) {
 		}
 
 		var incTrace, exactTrace []moveStep
-		incMoves := migrateScoped(ledA, v, assignA, LoadResidualMIPS, 0, scope, nil, false, &incTrace)
-		exactMoves := migrateScoped(ledB, v, assignB, LoadResidualMIPS, 0, scope, nil, true, &exactTrace)
+		incMoves := migrateScoped(ledA, v, assignA, LoadResidualMIPS, 0, scope, nil, false, &incTrace, nil)
+		exactMoves := migrateScoped(ledB, v, assignB, LoadResidualMIPS, 0, scope, nil, true, &exactTrace, nil)
 		if incMoves != exactMoves || !slices.Equal(incTrace, exactTrace) {
 			t.Logf("seed %d: incremental %d moves %v, exact %d moves %v",
 				seed, incMoves, incTrace, exactMoves, exactTrace)

@@ -28,12 +28,22 @@ import (
 // tractable without changing any result.
 // arc may be nil (one-shot mappers); a session passes its AR cache so
 // repeated admissions on an unchanged topology skip the Dijkstra sweep.
-func network(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, order LinkOrder, astar graph.AStarPruneOptions, rng *rand.Rand, arc *arCache) error {
-	ids := make([]int, v.NumLinks())
+// workers > 1 routes inter-host links speculatively on that many
+// goroutines with a deterministic in-order merge (parroute.go); results
+// are bit-identical for any worker count. ms may be nil (one-shot
+// mappers), which allocates the stage's buffers per call.
+func network(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, order LinkOrder, astar graph.AStarPruneOptions, rng *rand.Rand, arc *arCache, workers int, ms *mapScratch) error {
+	var ids []int
+	if ms != nil {
+		ms.ids = intsFor(ms.ids, v.NumLinks())
+		ids = ms.ids
+	} else {
+		ids = make([]int, v.NumLinks())
+	}
 	for i := range ids {
 		ids[i] = i
 	}
-	return routeLinks(led, v, assign, paths, ids, order, astar, rng, arc)
+	return routeLinks(led, v, assign, paths, ids, order, astar, rng, arc, workers, ms)
 }
 
 // routeLinks routes the subset of v's virtual links named by linkIDs,
@@ -42,11 +52,17 @@ func network(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths [
 // of links outside the subset — are respected. It is the whole
 // Networking stage when linkIDs covers every link, and the repair
 // engine's cheap path when it covers only the links a failure broke.
-func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, order LinkOrder, astar graph.AStarPruneOptions, rng *rand.Rand, arc *arCache) error {
+func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, order LinkOrder, astar graph.AStarPruneOptions, rng *rand.Rand, arc *arCache, workers int, ms *mapScratch) error {
 	net := led.Cluster().Net()
 	bw := led.BandwidthFunc()
 
-	links := make([]virtual.Link, len(linkIDs))
+	var links []virtual.Link
+	if ms != nil {
+		ms.links = linksFor(ms.links, len(linkIDs))
+		links = ms.links
+	} else {
+		links = make([]virtual.Link, len(linkIDs))
+	}
 	for i, id := range linkIDs {
 		links[i] = v.Link(id)
 	}
@@ -56,7 +72,7 @@ func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, path
 	// stage's fixed costs at 2000 guests.
 	switch order {
 	case OrderAscendingBW:
-		sortLinksByBW(links, false)
+		sortLinksByBWIn(links, false, ms)
 	case OrderRandom:
 		r := rng
 		if r == nil {
@@ -64,7 +80,7 @@ func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, path
 		}
 		r.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
 	default: // OrderDescendingBW — the paper's order
-		sortLinksByBW(links, true)
+		sortLinksByBWIn(links, true, ms)
 	}
 
 	// The Dijkstra ar[] tables only depend on the topology, never on the
@@ -99,23 +115,39 @@ func routeLinks(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, path
 		return ar
 	}
 
+	// With workers > 1 the routing loop itself runs speculatively on
+	// worker goroutines with a deterministic in-order merge; the results
+	// are bit-identical to the sequential loop below for any count.
+	if workers > 1 && len(links) >= minParallelLinks {
+		return routeLinksParallel(led, v, links, assign, paths, astar, arTo, workers, ms)
+	}
+
 	// One scratch serves the whole stage: routing is sequential, so every
 	// A*Prune search reuses the same open/closed structures instead of
 	// allocating per link.
 	scratch := astar.Scratch
 	if scratch == nil {
-		scratch = graph.NewAStarScratch()
+		if ms != nil {
+			scratch = ms.astar
+		} else {
+			scratch = graph.NewAStarScratch()
+		}
+	}
+	arena := astar.Arena
+	if arena == nil && ms != nil {
+		arena = ms.arena
 	}
 
 	for _, link := range links {
 		src, dst := assign[link.From], assign[link.To]
 		if src == dst {
-			paths[link.ID] = graph.TrivialPath(src)
+			paths[link.ID] = graph.TrivialPathIn(src, arena)
 			continue
 		}
 		opts := astar
 		opts.AR = arTo(dst)
 		opts.Scratch = scratch
+		opts.Arena = arena
 		p, ok := graph.AStarPrune(net, src, dst, link.BW, link.Lat, bw, &opts)
 		if !ok {
 			return fmt.Errorf("%w: link %d (%s-%s, %.3fMbps within %.1fms) between hosts %d and %d",

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/virtual"
+)
+
+// Parallel Networking stage: round-based speculative routing with a
+// deterministic in-order merge. The sequential stage is inherently
+// order-dependent — each reservation changes the residual bandwidth the
+// next search must see — so naive parallelism would change results. The
+// speculative scheme keeps the sequential semantics exactly:
+//
+//   - Links are processed in rounds of roundSize, in the stage's
+//     canonical (BW desc, ID asc) order. Within a round, workers route
+//     their links against the round-start ledger, which no one mutates
+//     until every worker has finished (reads only; the merge barrier is
+//     a sync.WaitGroup). Each worker records the set of edges whose
+//     residual its search read AND accepted (residual >= demand).
+//   - The merge then walks the round in canonical order. A speculative
+//     result is committed verbatim iff none of its accepted-read edges
+//     was dirtied by an earlier commit of the same round. Otherwise the
+//     link is re-routed on the spot against the live ledger — which is,
+//     by induction, exactly the computation the sequential loop performs.
+//
+// Why an unconflicted speculation equals the sequential result: the
+// search outcome is a pure function of the residual values it observes
+// (the ar[] tables and topology are round-invariant). Accepted reads are
+// unchanged by definition of no-conflict. Rejected reads (residual <
+// demand) can only have decreased — residuals only go down within a
+// round — so every rejection stays a rejection, and a rejected value is
+// never used beyond the comparison. The sequential search would
+// therefore observe an identical trace and return the identical path;
+// for the same reason every committed edge still clears its demand, so
+// ReserveBandwidth cannot fail where the sequential stage would not. An
+// error (no feasible path) surfaces at the merge position of the failing
+// link, after exactly the commits the sequential loop would have made.
+//
+// The scheme degrades gracefully rather than failing: on fabrics where
+// consecutive links share trunk edges (switched trees), conflicts simply
+// send more links through the merge-side re-route and throughput
+// approaches the sequential stage; sparser fabrics (tori) speculate
+// almost conflict-free.
+
+// minParallelLinks gates the parallel stage: below this many links the
+// round/merge machinery costs more than the searches it parallelises.
+const minParallelLinks = 32
+
+// specPerWorker sizes a round at workers*specPerWorker links: enough to
+// amortise the per-round barrier, small enough to bound the speculation
+// wasted when a round conflicts heavily.
+const specPerWorker = 8
+
+// specResult is one round slot: the prepared inputs (trivial flag,
+// pre-resolved ar[] table) and the worker's speculative output.
+type specResult struct {
+	trivial bool
+	ar      []float64
+	ok      bool
+	path    graph.Path
+	// Accepted-read set: worker (by round index), and the [lo,hi) window
+	// of that worker's reads buffer holding the edge IDs this search
+	// read and accepted.
+	worker         int
+	readLo, readHi int32
+}
+
+// parWorker is one routing worker's private state: its own search
+// scratch and path arena (neither is safe for concurrent use), the
+// epoch-stamped dedup array for accepted-read recording, and the
+// round's concatenated read sets.
+type parWorker struct {
+	astar *graph.AStarScratch
+	arena *graph.PathArena
+	seen  []uint32 // edge ID -> epoch of the search that last recorded it
+	epoch uint32
+	reads []int32 // accepted-read edge IDs, all of this round's searches
+}
+
+// parScratch is the parallel stage's reusable state, pooled inside
+// mapScratch. Like the rest of mapScratch it is single-owner: one
+// attempt at a time, with the workers slice read-only while worker
+// goroutines run.
+type parScratch struct {
+	workers []*parWorker
+	specs   []specResult
+	dirty   []uint32 // edge ID -> round epoch that last reserved on it
+	round   uint32
+}
+
+// ensure grows the scratch to serve `workers` goroutines on a fabric of
+// numEdges edges. Epoch arrays are reset (not preserved) on growth.
+func (ps *parScratch) ensure(workers, numEdges int) {
+	for len(ps.workers) < workers {
+		ps.workers = append(ps.workers, &parWorker{
+			astar: graph.NewAStarScratch(),
+			arena: graph.NewPathArena(),
+		})
+	}
+	for _, w := range ps.workers[:workers] {
+		if len(w.seen) < numEdges {
+			w.seen = make([]uint32, numEdges)
+			w.epoch = 0
+		}
+	}
+	if len(ps.dirty) < numEdges {
+		ps.dirty = make([]uint32, numEdges)
+		ps.round = 0
+	}
+}
+
+// route speculatively routes this worker's share of the round — slots
+// first, first+stride, ... — against the (frozen) round-start ledger,
+// recording each search's accepted-read edge set.
+func (w *parWorker) route(net *graph.Graph, led *cluster.Ledger, batch []virtual.Link, assign []graph.NodeID, specs []specResult, base graph.AStarPruneOptions, first, stride int) {
+	bwBase := led.BandwidthFunc()
+	var demand float64
+	// One closure per round, not per link: it reads the loop-updated
+	// demand so every search shares it.
+	bw := func(eid int) float64 {
+		r := bwBase(eid)
+		if r >= demand && w.seen[eid] != w.epoch {
+			w.seen[eid] = w.epoch
+			w.reads = append(w.reads, int32(eid))
+		}
+		return r
+	}
+	for i := first; i < len(batch); i += stride {
+		sp := &specs[i]
+		if sp.trivial {
+			continue
+		}
+		link := batch[i]
+		src, dst := assign[link.From], assign[link.To]
+		w.epoch++
+		if w.epoch == 0 { // wrapped: stamps are ambiguous, hard-reset
+			clear(w.seen)
+			w.epoch = 1
+		}
+		demand = link.BW
+		lo := int32(len(w.reads))
+		opts := base
+		opts.AR = sp.ar
+		opts.Scratch = w.astar
+		opts.Arena = w.arena
+		sp.path, sp.ok = graph.AStarPrune(net, src, dst, link.BW, link.Lat, bw, &opts)
+		sp.worker, sp.readLo, sp.readHi = first, lo, int32(len(w.reads))
+	}
+}
+
+// routeLinksParallel is the parallel body of routeLinks: links arrive
+// already in canonical order, and the produced paths, reservations,
+// and errors are bit-identical to the sequential loop for any worker
+// count. See the package comment above for the argument.
+func routeLinksParallel(led *cluster.Ledger, v *virtual.Env, links []virtual.Link, assign []graph.NodeID, paths []graph.Path, astar graph.AStarPruneOptions, arTo func(graph.NodeID) []float64, workers int, ms *mapScratch) error {
+	net := led.Cluster().Net()
+	bwLive := led.BandwidthFunc()
+
+	var ps *parScratch
+	if ms != nil {
+		if ms.par == nil {
+			ms.par = &parScratch{}
+		}
+		ps = ms.par
+	} else { // one-shot mappers: per-call state, as everywhere else
+		ps = &parScratch{}
+	}
+	ps.ensure(workers, net.NumEdges())
+
+	// Merge-side search state for conflicted re-routes; distinct from the
+	// worker scratches, shared with nothing.
+	mergeScratch := astar.Scratch
+	if mergeScratch == nil {
+		if ms != nil {
+			mergeScratch = ms.astar
+		} else {
+			mergeScratch = graph.NewAStarScratch()
+		}
+	}
+	mergeArena := astar.Arena
+	if mergeArena == nil && ms != nil {
+		mergeArena = ms.arena
+	}
+
+	roundSize := workers * specPerWorker
+	for start := 0; start < len(links); start += roundSize {
+		end := start + roundSize
+		if end > len(links) {
+			end = len(links)
+		}
+		batch := links[start:end]
+
+		if cap(ps.specs) < len(batch) {
+			ps.specs = make([]specResult, len(batch))
+		}
+		specs := ps.specs[:len(batch)]
+
+		// Prep (serial): trivial flags and ar[] tables. arTo may fill the
+		// table cache, so it must not be called from workers.
+		for i, link := range batch {
+			src, dst := assign[link.From], assign[link.To]
+			if src == dst {
+				specs[i] = specResult{trivial: true}
+				continue
+			}
+			specs[i] = specResult{ar: arTo(dst)}
+		}
+
+		// Speculation (parallel): the ledger is frozen — workers only
+		// read it — until wg.Wait. Worker w owns slots w, w+n, ...
+		n := workers
+		if n > len(batch) {
+			n = len(batch)
+		}
+		var wg sync.WaitGroup
+		for wi := 0; wi < n; wi++ {
+			w := ps.workers[wi]
+			w.reads = w.reads[:0]
+			wg.Add(1)
+			go func(w *parWorker, first int) {
+				defer wg.Done()
+				w.route(net, led, batch, assign, specs, astar, first, n)
+			}(w, wi)
+		}
+		wg.Wait()
+
+		// Merge (serial, canonical order).
+		ps.round++
+		if ps.round == 0 { // wrapped: stamps are ambiguous, hard-reset
+			clear(ps.dirty)
+			ps.round = 1
+		}
+		for i := range specs {
+			link := batch[i]
+			sp := &specs[i]
+			src, dst := assign[link.From], assign[link.To]
+			if sp.trivial {
+				paths[link.ID] = graph.TrivialPathIn(src, mergeArena)
+				continue
+			}
+
+			commit := sp.ok
+			if commit {
+				reads := ps.workers[sp.worker].reads[sp.readLo:sp.readHi]
+				for _, e := range reads {
+					if ps.dirty[e] == ps.round {
+						commit = false
+						break
+					}
+				}
+			}
+
+			p := sp.path
+			if !commit {
+				// Conflicted or speculatively infeasible: compute the
+				// sequential answer against the live ledger.
+				opts := astar
+				opts.AR = sp.ar
+				opts.Scratch = mergeScratch
+				opts.Arena = mergeArena
+				var ok bool
+				p, ok = graph.AStarPrune(net, src, dst, link.BW, link.Lat, bwLive, &opts)
+				if !ok {
+					return fmt.Errorf("%w: link %d (%s-%s, %.3fMbps within %.1fms) between hosts %d and %d",
+						ErrNoPath, link.ID, v.Guest(link.From).Name, v.Guest(link.To).Name,
+						link.BW, link.Lat, src, dst)
+				}
+			}
+			if err := led.ReserveBandwidth(p, link.BW); err != nil {
+				// Unreachable for the same reason as the sequential loop:
+				// committed speculations re-verified their reads, and
+				// re-routes saw the live ledger.
+				panic("core: A*Prune returned an unreservable path: " + err.Error())
+			}
+			for _, eid := range p.Edges {
+				ps.dirty[eid] = ps.round
+			}
+			paths[link.ID] = p
+		}
+	}
+	return nil
+}

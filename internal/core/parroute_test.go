@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+	"repro/internal/virtual"
+	"repro/internal/workload"
+)
+
+func mustSwitched(t *testing.T, specs []topology.HostSpec) *cluster.Cluster {
+	t.Helper()
+	c, err := topology.Switched(specs, workload.SwitchPorts, workload.PhysLinkBW, workload.PhysLinkLat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// parRouteWorkerCounts are the worker counts every property run
+// compares: 1 is the sequential reference; 2 and 8 exercise sparse and
+// oversubscribed speculation rounds.
+var parRouteWorkerCounts = []int{1, 2, 8}
+
+// admissionOutcome is one admission's observable result, comparable
+// across worker counts: the committed mapping (nil on failure) and the
+// exact error text.
+type admissionOutcome struct {
+	guestHost []int64
+	pathNodes [][]int64
+	errText   string
+}
+
+// runParRouteScenario admits the given environments in order on a fresh
+// session whose HMN routes with the given worker count, and captures
+// every observable: per-admission outcomes and the final residual CPU
+// vector (bit-exact float64s).
+func runParRouteScenario(t *testing.T, c *cluster.Cluster, envs []*virtual.Env, workers int) ([]admissionOutcome, []float64) {
+	t.Helper()
+	s, err := NewSession(c, cluster.VMMOverhead{}, &HMN{RouteWorkers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([]admissionOutcome, len(envs))
+	for i, env := range envs {
+		m, mErr := s.Map(env)
+		if mErr != nil {
+			outs[i] = admissionOutcome{errText: mErr.Error()}
+			continue
+		}
+		out := admissionOutcome{guestHost: make([]int64, len(m.GuestHost))}
+		for g, node := range m.GuestHost {
+			out.guestHost[g] = int64(node)
+		}
+		out.pathNodes = make([][]int64, len(m.LinkPath))
+		for l, p := range m.LinkPath {
+			ns := make([]int64, len(p.Nodes))
+			for j, n := range p.Nodes {
+				ns[j] = int64(n)
+			}
+			out.pathNodes[l] = ns
+		}
+		outs[i] = out
+	}
+	return outs, s.ResidualProc()
+}
+
+// TestQuickParallelRouteMatchesSerial is the bit-identity property of
+// the parallel Networking stage: for any workload — including
+// admissions that fail mid-route once earlier links have saturated the
+// fabric — routing with 2 or 8 workers produces exactly the mappings,
+// error messages and residual vectors the sequential stage produces.
+func TestQuickParallelRouteMatchesSerial(t *testing.T) {
+	prop := func(seed int64, torus bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+		var c *cluster.Cluster
+		if torus {
+			c = mustTorus(t, specs, workload.TorusRows, workload.TorusCols)
+		} else {
+			c = mustSwitched(t, specs)
+		}
+
+		// Three admissions: a routable environment, then two increasingly
+		// bandwidth-hungry ones. Against the 1000Mbps fabric the heavy
+		// links saturate trunks, so later admissions routinely fail in
+		// the middle of the Networking stage — the merge-order error case
+		// the property must also pin down.
+		mk := func(guests int, bwMin, bwMax float64, s int64) *virtual.Env {
+			p := workload.HighLevelParams(guests, 0.03)
+			p.BWMin, p.BWMax = bwMin, bwMax
+			return workload.GenerateEnv(p, rand.New(rand.NewSource(s)))
+		}
+		envs := []*virtual.Env{
+			mk(120, 0.5, 2.0, seed+1),
+			mk(100, 50, 220, seed+2),
+			mk(100, 120, 400, seed+3),
+		}
+
+		baseOuts, baseRes := runParRouteScenario(t, c, envs, parRouteWorkerCounts[0])
+		for _, workers := range parRouteWorkerCounts[1:] {
+			outs, res := runParRouteScenario(t, c, envs, workers)
+			if !reflect.DeepEqual(outs, baseOuts) {
+				t.Logf("seed %d torus %v: outcomes diverge at %d workers", seed, torus, workers)
+				return false
+			}
+			for i := range res {
+				if math.Float64bits(res[i]) != math.Float64bits(baseRes[i]) {
+					t.Logf("seed %d torus %v: residual[%d] %v != %v at %d workers",
+						seed, torus, i, res[i], baseRes[i], workers)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelRouteErrorsMidStage pins the failure semantics down on a
+// deterministic instance: an environment whose aggregate demand cannot
+// fit the switched fabric must fail with the identical ErrNoPath text —
+// naming the same link — at every worker count, leaving the residuals
+// untouched.
+func TestParallelRouteErrorsMidStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specs := workload.GenerateHosts(workload.PaperClusterParams(), rng)
+	c := mustSwitched(t, specs)
+
+	p := workload.HighLevelParams(140, 0.04)
+	p.BWMin, p.BWMax = 150, 500 // far beyond what 1000Mbps trunks can carry
+	env := workload.GenerateEnv(p, rand.New(rand.NewSource(11)))
+
+	var wantErr string
+	var wantRes []float64
+	for i, workers := range parRouteWorkerCounts {
+		s, err := NewSession(c, cluster.VMMOverhead{}, &HMN{RouteWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := s.ResidualProc()
+		_, mErr := s.Map(env)
+		if mErr == nil {
+			t.Fatalf("workers=%d: expected the oversubscribed environment to fail", workers)
+		}
+		after := s.ResidualProc()
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("workers=%d: failed admission changed residuals", workers)
+		}
+		if i == 0 {
+			wantErr, wantRes = mErr.Error(), after
+			continue
+		}
+		if mErr.Error() != wantErr {
+			t.Fatalf("workers=%d: error %q != sequential %q", workers, mErr, wantErr)
+		}
+		if !reflect.DeepEqual(after, wantRes) {
+			t.Fatalf("workers=%d: residuals diverge from sequential", workers)
+		}
+	}
+}

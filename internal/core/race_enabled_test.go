@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// The allocation-budget tests skip under it: the instrumented runtime
+// allocates shadow state the budgets were never meant to cover.
+const raceEnabled = true

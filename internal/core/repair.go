@@ -166,9 +166,13 @@ func (s *Session) repairOne(old *mapping.Mapping, tag string) RepairResult {
 		res.New, res.Outcome = nm, RepairRepaired
 		return res
 	}
-	attempt := s.led.Clone()
+	attempt := s.snapshotLocked()
 	nm := mapping.New(s.led.Cluster(), old.Env)
-	if err := s.mapper.mapOnLedger(attempt, old.Env, nm, s.ar); err != nil {
+	ms := getMapScratch()
+	err := s.mapper.mapOnLedger(attempt, old.Env, nm, s.ar, ms)
+	putMapScratch(ms)
+	s.freeSnapshotLocked(attempt)
+	if err != nil {
 		res.Outcome, res.Err = RepairUnrecoverable, err
 		return res
 	}
@@ -193,7 +197,8 @@ func (s *Session) repairOne(old *mapping.Mapping, tag string) RepairResult {
 //hmn:locked mu
 func (s *Session) tryReroute(old *mapping.Mapping, tag string) (*mapping.Mapping, bool) {
 	env := old.Env
-	attempt := s.led.Clone()
+	attempt := s.snapshotLocked()
+	defer s.freeSnapshotLocked(attempt)
 	nm := mapping.New(s.led.Cluster(), env)
 	copy(nm.GuestHost, old.GuestHost)
 
@@ -214,7 +219,10 @@ func (s *Session) tryReroute(old *mapping.Mapping, tag string) (*mapping.Mapping
 		nm.LinkPath[l] = p.Clone()
 	}
 	if len(broken) > 0 {
-		if err := s.mapper.rerouteOnLedger(attempt, env, nm.GuestHost, nm.LinkPath, broken, s.ar); err != nil {
+		ms := getMapScratch()
+		err := s.mapper.rerouteOnLedger(attempt, env, nm.GuestHost, nm.LinkPath, broken, s.ar, ms)
+		putMapScratch(ms)
+		if err != nil {
 			return nil, false
 		}
 	}

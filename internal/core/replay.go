@@ -95,6 +95,7 @@ func RestoreSession(c *cluster.Cluster, overhead cluster.VMMOverhead, mapper Map
 	if err != nil {
 		return nil, err
 	}
+	led.EnableJournal()
 	s := &Session{
 		c:                 c,
 		led:               led,

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/virtual"
+)
+
+// mapScratch carries every reusable buffer one mapping attempt needs —
+// the link-sort workspace, the host index arrays, the Networking
+// stage's link and ID buffers, the A*Prune scratch and the path arena —
+// so the steady-state admission path allocates none of them. Attempts
+// borrow one from mapScratchPool (getMapScratch/putMapScratch) for the
+// duration of the attempt; buffers grow to the largest cluster and
+// environment they have served and are then reused as-is. A mapScratch
+// is single-owner state: never shared between concurrent attempts.
+type mapScratch struct {
+	// Networking stage: link-ID worklist and the canonical-order copy of
+	// the links being routed.
+	ids   []int
+	links []virtual.Link
+
+	// sortLinksByBW workspace: packed sort keys and the gather buffer.
+	kvs    []linkKV
+	gather []virtual.Link
+
+	// Host index arrays (hostIndex.order/pos/nodeOf).
+	hiOrder []graph.NodeID
+	hiPos   []int
+	hiNode  []graph.NodeID
+
+	// A*Prune search state and the slab allocator committed paths are
+	// carved from. The arena's handed-out storage is never reused, so
+	// pooling it is safe: reuse only continues filling fresh chunk space.
+	astar *graph.AStarScratch
+	arena *graph.PathArena
+
+	// par is the parallel Networking stage's per-worker state, created
+	// on first use by a mapper with RouteWorkers > 1.
+	par *parScratch
+
+	// Migration stage working sets: host node list, per-host guest
+	// rosters (dense, keyed by cluster host index), the per-round donor
+	// worklist and the live-order snapshot destinations() copies.
+	migHosts  []graph.NodeID
+	migOnHost [][]virtual.GuestID
+	migDonors []graph.NodeID
+	migLive   []graph.NodeID
+}
+
+var mapScratchPool = sync.Pool{New: func() interface{} {
+	return &mapScratch{
+		astar: graph.NewAStarScratch(),
+		arena: graph.NewPathArena(),
+	}
+}}
+
+func getMapScratch() *mapScratch   { return mapScratchPool.Get().(*mapScratch) }
+func putMapScratch(ms *mapScratch) { mapScratchPool.Put(ms) }
+
+// intsFor returns buf resized to n, reallocating only on growth.
+func intsFor(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// nodesFor returns buf resized to n, reallocating only on growth.
+func nodesFor(buf []graph.NodeID, n int) []graph.NodeID {
+	if cap(buf) < n {
+		return make([]graph.NodeID, n)
+	}
+	return buf[:n]
+}
+
+// linksFor returns buf resized to n, reallocating only on growth.
+func linksFor(buf []virtual.Link, n int) []virtual.Link {
+	if cap(buf) < n {
+		return make([]virtual.Link, n)
+	}
+	return buf[:n]
+}

@@ -63,6 +63,14 @@ type Session struct {
 	optimisticRetries int
 	// ar caches Dijkstra latency tables across admissions; see arCache.
 	ar *arCache
+	// snapFree recycles attempt snapshots: each is a journal-enabled
+	// copy-on-write ledger (cluster.Ledger.Snapshot) that SyncFrom
+	// refreshes by replaying only the rows touched since it was last in
+	// sync, instead of a full O(hosts+edges) clone per admission.
+	snapFree []*cluster.Ledger //hmn:guardedby mu
+	// txn is the reusable admission transaction every commit funnels
+	// through; epoch-stamped reset makes reuse O(touched), not O(state).
+	txn *cluster.Txn //hmn:guardedby mu
 
 	// hook observes every committed operation in commit order, under the
 	// lock; see SetCommitHook. opCount is the per-session operation
@@ -95,55 +103,56 @@ const defaultOptimisticRetries = 3
 // internally).
 type sessionMapper interface {
 	// arc is the session's Dijkstra-table cache; one-shot callers pass
-	// nil and recompute per mapping.
-	mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache) error
+	// nil and recompute per mapping. ms carries the attempt's reusable
+	// buffers (may be nil, which allocates per call).
+	mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache, ms *mapScratch) error
 	// rerouteOnLedger re-runs only the Networking stage for the named
 	// virtual links, keeping guest placements fixed — the repair
 	// engine's cheap path after a link failure.
-	rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, arc *arCache) error
+	rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, arc *arCache, ms *mapScratch) error
 }
 
 // mapOnLedger runs the three HMN stages against an existing ledger. One
 // host index serves Hosting and Migration; its ledger hook is detached
 // before returning so the ledger outlives the attempt hook-free.
-func (h *HMN) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache) error {
-	hi := newHostIndex(led, !h.DisableHostResort)
+func (h *HMN) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache, ms *mapScratch) error {
+	hi := newHostIndexIn(led, !h.DisableHostResort, ms)
 	defer led.SetProcHook(nil)
-	if err := hostingIndexed(led, v, m.GuestHost, hi); err != nil {
+	if err := hostingIndexedIn(led, v, m.GuestHost, hi, ms); err != nil {
 		return fmt.Errorf("HMN hosting stage: %w", err)
 	}
 	if !h.DisableMigration {
-		migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope, hi, h.ExactObjective, nil)
+		migrateScoped(led, v, m.GuestHost, h.Metric, h.MaxMigrations, h.Scope, hi, h.ExactObjective, nil, ms)
 	}
-	if err := network(led, v, m.GuestHost, m.LinkPath, h.NetworkOrder, h.AStar, h.Rand, arc); err != nil {
+	if err := network(led, v, m.GuestHost, m.LinkPath, h.NetworkOrder, h.AStar, h.Rand, arc, h.RouteWorkers, ms); err != nil {
 		return fmt.Errorf("HMN networking stage: %w", err)
 	}
 	return nil
 }
 
 // rerouteOnLedger re-routes a link subset with HMN's Networking options.
-func (h *HMN) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, arc *arCache) error {
-	return routeLinks(led, v, assign, paths, linkIDs, h.NetworkOrder, h.AStar, h.Rand, arc)
+func (h *HMN) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, arc *arCache, ms *mapScratch) error {
+	return routeLinks(led, v, assign, paths, linkIDs, h.NetworkOrder, h.AStar, h.Rand, arc, h.RouteWorkers, ms)
 }
 
 // mapOnLedger runs Hosting, consolidation and Networking against an
 // existing ledger.
-func (x *Consolidator) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache) error {
-	hi := newHostIndex(led, true)
+func (x *Consolidator) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache, ms *mapScratch) error {
+	hi := newHostIndexIn(led, true, ms)
 	defer led.SetProcHook(nil)
-	if err := hostingIndexed(led, v, m.GuestHost, hi); err != nil {
+	if err := hostingIndexedIn(led, v, m.GuestHost, hi, ms); err != nil {
 		return fmt.Errorf("HMN-C hosting stage: %w", err)
 	}
 	consolidateIndexed(led, v, m.GuestHost, x.MaxPasses, hi)
-	if err := network(led, v, m.GuestHost, m.LinkPath, OrderDescendingBW, x.AStar, nil, arc); err != nil {
+	if err := network(led, v, m.GuestHost, m.LinkPath, OrderDescendingBW, x.AStar, nil, arc, x.RouteWorkers, ms); err != nil {
 		return fmt.Errorf("HMN-C networking stage: %w", err)
 	}
 	return nil
 }
 
 // rerouteOnLedger re-routes a link subset with HMN-C's Networking options.
-func (x *Consolidator) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, arc *arCache) error {
-	return routeLinks(led, v, assign, paths, linkIDs, OrderDescendingBW, x.AStar, nil, arc)
+func (x *Consolidator) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, arc *arCache, ms *mapScratch) error {
+	return routeLinks(led, v, assign, paths, linkIDs, OrderDescendingBW, x.AStar, nil, arc, x.RouteWorkers, ms)
 }
 
 // NewSession opens a session on c with the VMM overhead deducted once.
@@ -158,6 +167,7 @@ func NewSession(c *cluster.Cluster, overhead cluster.VMMOverhead, mapper Mapper)
 	if err != nil {
 		return nil, err
 	}
+	led.EnableJournal()
 	return &Session{
 		c:                 c,
 		led:               led,
@@ -194,6 +204,21 @@ func sessionMapperFor(mapper Mapper, overhead cluster.VMMOverhead) (sessionMappe
 		return m, nil
 	default:
 		return nil, fmt.Errorf("session: mapper %s cannot run incrementally (needs a ledger-driven mapper such as HMN or HMN-C)", mapper.Name())
+	}
+}
+
+// SetRouteWorkers sets the parallel Networking stage's worker count on
+// the session's mapper (see HMN.RouteWorkers); values <= 1 keep the
+// serial stage. Call it before serving admissions. Because the parallel
+// stage is bit-identical to the serial one, a recovered session may
+// apply a different worker count than it originally ran with — replay
+// itself never runs the mapper at all.
+func (s *Session) SetRouteWorkers(workers int) {
+	switch m := s.mapper.(type) {
+	case *HMN:
+		m.RouteWorkers = workers
+	case *Consolidator:
+		m.RouteWorkers = workers
 	}
 }
 
@@ -255,6 +280,33 @@ func (s *Session) MapWithStats(v *virtual.Env) (*mapping.Mapping, AdmitStats, er
 	return s.MapTagged(v, "")
 }
 
+// snapshotLocked hands out an attempt snapshot of the live ledger:
+// a recycled one refreshed in place by the copy-on-write journal
+// (SyncFrom replays only the rows committed since the snapshot was
+// last in sync), or a fresh cluster.Ledger.Snapshot when the pool is
+// empty. Callers hold s.mu and must return the snapshot with
+// freeSnapshotLocked once the attempt is over.
+//
+//hmn:locked mu
+func (s *Session) snapshotLocked() *cluster.Ledger {
+	if n := len(s.snapFree); n > 0 {
+		snap := s.snapFree[n-1]
+		s.snapFree[n-1] = nil
+		s.snapFree = s.snapFree[:n-1]
+		snap.SyncFrom(s.led)
+		return snap
+	}
+	return s.led.Snapshot()
+}
+
+// freeSnapshotLocked recycles an attempt snapshot. Callers hold s.mu
+// and must not touch snap afterwards.
+//
+//hmn:locked mu
+func (s *Session) freeSnapshotLocked(snap *cluster.Ledger) {
+	s.snapFree = append(s.snapFree, snap)
+}
+
 // MapTagged is MapWithStats with a caller tag attached to the admission:
 // the tag rides the commit event and the session snapshot (hmnd passes
 // its environment ID), and repairs carry it to replacement mappings.
@@ -263,7 +315,7 @@ func (s *Session) MapTagged(v *virtual.Env, tag string) (*mapping.Mapping, Admit
 	for try := 0; try < s.optimisticRetries; try++ {
 		start := time.Now() //hmn:wallclock
 		s.mu.Lock()
-		snap := s.led.Clone()
+		snap := s.snapshotLocked()
 		ver := s.version
 		s.mu.Unlock()
 		st.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
@@ -271,10 +323,13 @@ func (s *Session) MapTagged(v *virtual.Env, tag string) (*mapping.Mapping, Admit
 		// The expensive part — hosting, migration and every A*Prune
 		// search — runs on the private snapshot with no lock held.
 		m := mapping.New(s.c, v)
-		mapErr := s.mapper.mapOnLedger(snap, v, m, s.ar)
+		ms := getMapScratch()
+		mapErr := s.mapper.mapOnLedger(snap, v, m, s.ar, ms)
+		putMapScratch(ms)
 
 		start = time.Now() //hmn:wallclock
 		s.mu.Lock()
+		s.freeSnapshotLocked(snap)
 		if s.version == ver {
 			// Nothing committed since the snapshot was taken, so it IS
 			// the live state: committing the mapping's net effect is
@@ -284,7 +339,7 @@ func (s *Session) MapTagged(v *virtual.Env, tag string) (*mapping.Mapping, Admit
 				return nil, st, mapErr
 			}
 			if seq, err := s.commitTxnLocked(v, m, tag); err == nil {
-				s.emitLocked(Event{Type: EventAdmit, Admit: &AdmitInfo{Seq: seq, Tag: tag, Env: v, M: m}})
+				s.emitAdmitLocked(seq, tag, v, m)
 				s.mu.Unlock()
 				s.optimisticCommits.Add(1)
 				st.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
@@ -300,7 +355,7 @@ func (s *Session) MapTagged(v *virtual.Env, tag string) (*mapping.Mapping, Admit
 			// live residuals; Commit validates exactly that and applies
 			// atomically, or rejects without touching the ledger.
 			if seq, err := s.commitTxnLocked(v, m, tag); err == nil {
-				s.emitLocked(Event{Type: EventAdmit, Admit: &AdmitInfo{Seq: seq, Tag: tag, Env: v, M: m}})
+				s.emitAdmitLocked(seq, tag, v, m)
 				s.mu.Unlock()
 				s.optimisticCommits.Add(1)
 				st.CommitSeconds += time.Since(start).Seconds() //hmn:wallclock
@@ -324,13 +379,16 @@ func (s *Session) MapTagged(v *virtual.Env, tag string) (*mapping.Mapping, Admit
 	s.fallbacks.Add(1)
 	start := time.Now() //hmn:wallclock
 	s.mu.Lock()
-	attempt := s.led.Clone()
+	attempt := s.snapshotLocked()
 	m := mapping.New(s.c, v)
-	err := s.mapper.mapOnLedger(attempt, v, m, s.ar)
+	ms := getMapScratch()
+	err := s.mapper.mapOnLedger(attempt, v, m, s.ar, ms)
+	putMapScratch(ms)
+	s.freeSnapshotLocked(attempt)
 	if err == nil {
 		var seq uint64
 		if seq, err = s.commitTxnLocked(v, m, tag); err == nil {
-			s.emitLocked(Event{Type: EventAdmit, Admit: &AdmitInfo{Seq: seq, Tag: tag, Env: v, M: m}})
+			s.emitAdmitLocked(seq, tag, v, m)
 		}
 	}
 	s.mu.Unlock()
@@ -348,6 +406,14 @@ func (s *Session) MapTagged(v *virtual.Env, tag string) (*mapping.Mapping, Admit
 // (3) and (9) for the mapping as committed.
 func admissionTxn(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) *cluster.Txn {
 	txn := led.NewTxn()
+	fillAdmissionTxn(txn, v, m)
+	return txn
+}
+
+// fillAdmissionTxn accumulates m's net effect into txn, which must be
+// fresh or Reset. Split from admissionTxn so the session's commit funnel
+// can reuse one transaction across admissions.
+func fillAdmissionTxn(txn *cluster.Txn, v *virtual.Env, m *mapping.Mapping) {
 	for g, node := range m.GuestHost {
 		guest := v.Guest(virtual.GuestID(g))
 		txn.AddGuest(node, guest.Proc, guest.Mem, guest.Stor)
@@ -355,7 +421,6 @@ func admissionTxn(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) *clus
 	for l, p := range m.LinkPath {
 		txn.AddPath(p, v.Link(l).BW)
 	}
-	return txn
 }
 
 // commitTxnLocked is the single canonical commit funnel: it collapses m
@@ -371,10 +436,29 @@ func admissionTxn(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) *clus
 //
 //hmn:locked mu
 func (s *Session) commitTxnLocked(v *virtual.Env, m *mapping.Mapping, tag string) (uint64, error) {
-	if err := s.led.Commit(admissionTxn(s.led, v, m)); err != nil {
+	if s.txn == nil {
+		s.txn = s.led.NewTxn()
+	}
+	s.txn.Reset()
+	fillAdmissionTxn(s.txn, v, m)
+	if err := s.led.Commit(s.txn); err != nil {
 		return 0, err
 	}
 	return s.admitLocked(m, tag), nil
+}
+
+// emitAdmitLocked emits an EventAdmit, building the event only when a
+// hook is listening: the AdmitInfo allocation otherwise survives every
+// steady-state admission for nothing. The operation index advances
+// either way (see emitLocked). Callers hold s.mu.
+//
+//hmn:locked mu
+func (s *Session) emitAdmitLocked(seq uint64, tag string, v *virtual.Env, m *mapping.Mapping) {
+	if s.hook == nil {
+		s.opCount++
+		return
+	}
+	s.emitLocked(Event{Type: EventAdmit, Admit: &AdmitInfo{Seq: seq, Tag: tag, Env: v, M: m}})
 }
 
 // admitLocked registers m as active and bumps the version. Callers hold

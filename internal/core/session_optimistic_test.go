@@ -351,8 +351,8 @@ type gatedMapper struct {
 	once    sync.Once
 }
 
-func (g *gatedMapper) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache) error {
-	err := g.inner.mapOnLedger(led, v, m, arc)
+func (g *gatedMapper) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping, arc *arCache, ms *mapScratch) error {
+	err := g.inner.mapOnLedger(led, v, m, arc, ms)
 	g.once.Do(func() {
 		g.gate <- struct{}{}
 		<-g.release
@@ -360,6 +360,6 @@ func (g *gatedMapper) mapOnLedger(led *cluster.Ledger, v *virtual.Env, m *mappin
 	return err
 }
 
-func (g *gatedMapper) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, arc *arCache) error {
-	return g.inner.rerouteOnLedger(led, v, assign, paths, linkIDs, arc)
+func (g *gatedMapper) rerouteOnLedger(led *cluster.Ledger, v *virtual.Env, assign []graph.NodeID, paths []graph.Path, linkIDs []int, arc *arCache, ms *mapScratch) error {
+	return g.inner.rerouteOnLedger(led, v, assign, paths, linkIDs, arc, ms)
 }

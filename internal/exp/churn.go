@@ -144,7 +144,7 @@ type churnOutcome struct {
 func churnRun(cfg ChurnConfig, rebalanced bool) churnOutcome {
 	specs := workload.GenerateHosts(clusterParams(cfg.Hosts),
 		rand.New(rand.NewSource(deriveSeed(cfg.Seed, churnStream))))
-	c, err := buildCluster(specs, Torus)
+	c, err := buildCluster(specs, Torus, workload.PhysLinkBW, workload.PhysLinkLat)
 	if err != nil {
 		panic(err)
 	}

@@ -93,7 +93,12 @@ func CompareDocs(base, cur JSONDocument, thresholdPct float64) CompareReport {
 		return rep
 	}
 
-	key := func(s JSONSeries) string { return s.Topology + " / " + s.Heuristic }
+	key := func(s JSONSeries) string {
+		if s.Scenario == "" {
+			return s.Topology + " / " + s.Heuristic
+		}
+		return s.Scenario + " / " + s.Topology + " / " + s.Heuristic
+	}
 	curBy := make(map[string]JSONSeries, len(cur.Series))
 	for _, s := range cur.Series {
 		curBy[key(s)] = s

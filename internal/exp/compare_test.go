@@ -37,8 +37,20 @@ func TestCompareDocsFlagsDrift(t *testing.T) {
 	base := sweepDoc(t)
 	cur := sweepDoc(t)
 
-	// Objective drift beyond the threshold gates.
-	cur.Series[0].ObjectiveMean *= 1.02
+	// Objective drift beyond the threshold gates. Perturb a series that
+	// has a nonzero objective — a series whose runs all failed carries
+	// mean 0, which no multiplicative drift can move.
+	drifted := -1
+	for i := range cur.Series {
+		if cur.Series[i].ObjectiveMean != 0 {
+			drifted = i
+			break
+		}
+	}
+	if drifted < 0 {
+		t.Fatal("no series with a nonzero objective mean")
+	}
+	cur.Series[drifted].ObjectiveMean *= 1.02
 	rep := CompareDocs(base, cur, 0.5)
 	if rep.OK() {
 		t.Fatal("2% objective drift passed a 0.5% threshold")

@@ -36,8 +36,12 @@ type JSONRun struct {
 	InterHostLinks int `json:"inter_host_links"`
 }
 
-// JSONSeries aggregates every run of one (topology, heuristic) pair.
+// JSONSeries aggregates every run of one (scenario, topology, heuristic)
+// triple. Keying series by scenario keeps the drift gate sharp on a
+// mixed-size matrix: a regression confined to the 10k-guest row cannot
+// hide inside an aggregate over every ratio.
 type JSONSeries struct {
+	Scenario  string `json:"scenario"`
 	Topology  string `json:"topology"`
 	Heuristic string `json:"heuristic"`
 	Runs      int    `json:"runs"`
@@ -82,6 +86,7 @@ func (r *Results) JSON() JSONDocument {
 	doc.Heuristics = append(doc.Heuristics, r.Config.Heuristics...)
 
 	type seriesKey struct {
+		scen string
 		topo Topology
 		heur string
 	}
@@ -109,7 +114,7 @@ func (r *Results) JSON() JSONDocument {
 			Links:          run.Links,
 			InterHostLinks: run.InterHostLinks,
 		})
-		k := seriesKey{run.Topology, run.Heuristic}
+		k := seriesKey{run.Scenario.Label(), run.Topology, run.Heuristic}
 		a := acc[k]
 		if a == nil {
 			a = &struct {
@@ -127,6 +132,9 @@ func (r *Results) JSON() JSONDocument {
 		}
 	}
 	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].scen != keys[j].scen {
+			return keys[i].scen < keys[j].scen
+		}
 		if keys[i].topo != keys[j].topo {
 			return keys[i].topo < keys[j].topo
 		}
@@ -135,6 +143,7 @@ func (r *Results) JSON() JSONDocument {
 	for _, k := range keys {
 		a := acc[k]
 		doc.Series = append(doc.Series, JSONSeries{
+			Scenario:       k.scen,
 			Topology:       k.topo.String(),
 			Heuristic:      k.heur,
 			Runs:           len(a.mapTimes),

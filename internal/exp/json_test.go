@@ -26,13 +26,16 @@ func TestWriteJSON(t *testing.T) {
 	if len(doc.Runs) != len(res.Runs) {
 		t.Fatalf("JSON has %d runs, want %d", len(doc.Runs), len(res.Runs))
 	}
-	wantSeries := len(cfg.Topologies) * len(cfg.Heuristics)
+	wantSeries := len(cfg.Scenarios) * len(cfg.Topologies) * len(cfg.Heuristics)
 	if len(doc.Series) != wantSeries {
 		t.Fatalf("JSON has %d series, want %d", len(doc.Series), wantSeries)
 	}
 
-	perSeries := len(cfg.Scenarios) * cfg.Reps
+	perSeries := cfg.Reps
 	for _, s := range doc.Series {
+		if s.Scenario == "" {
+			t.Fatalf("series %s/%s has no scenario key", s.Topology, s.Heuristic)
+		}
 		if s.Runs != perSeries {
 			t.Fatalf("series %s/%s has %d runs, want %d", s.Topology, s.Heuristic, s.Runs, perSeries)
 		}

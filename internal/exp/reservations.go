@@ -135,7 +135,7 @@ const resStream = 0x4E57
 func reservationInstance(cfg ReservationConfig, i int) resOutcome {
 	rng := rand.New(rand.NewSource(deriveSeed(cfg.Seed, resStream, int64(i))))
 	specs := workload.GenerateHosts(clusterParams(cfg.Hosts), rng)
-	c, err := buildCluster(specs, Torus)
+	c, err := buildCluster(specs, Torus, workload.PhysLinkBW, workload.PhysLinkLat)
 	if err != nil {
 		panic(err)
 	}

@@ -38,6 +38,12 @@ type Config struct {
 	// Workers bounds the number of concurrent repetitions; 0 means
 	// GOMAXPROCS.
 	Workers int
+	// RouteWorkers is HMN's parallel Networking worker count (see
+	// core.HMN.RouteWorkers). <= 1 routes serially. Objectives and
+	// mappings are bit-identical for any value; only map_seconds moves,
+	// so sweeps with different RouteWorkers remain comparable on every
+	// gated metric.
+	RouteWorkers int
 	// Scenarios and Topologies select the matrix (defaults: the paper's).
 	Scenarios  []Scenario
 	Topologies []Topology
@@ -165,14 +171,15 @@ func RunSweep(cfg Config) *Results {
 // paired.
 func runOne(cfg Config, si, rep int) []Run {
 	sc := cfg.Scenarios[si]
+	hosts := sc.HostsFor(cfg.Hosts)
 	genSeed := deriveSeed(cfg.Seed, int64(si), int64(rep), 0)
 	rng := rand.New(rand.NewSource(genSeed))
-	specs := workload.GenerateHosts(clusterParams(cfg.Hosts), rng)
-	env := workload.GenerateEnv(sc.Params(cfg.Hosts), rng)
+	specs := workload.GenerateHosts(clusterParams(hosts), rng)
+	env := workload.GenerateEnv(sc.Params(hosts), rng)
 
 	var out []Run
 	for _, topo := range cfg.Topologies {
-		c, err := buildCluster(specs, topo)
+		c, err := buildCluster(specs, topo, sc.LinkBWFor(workload.PhysLinkBW), sc.LinkLatFor(workload.PhysLinkLat))
 		if err != nil {
 			panic(fmt.Sprintf("exp: cannot build %v cluster: %v", topo, err))
 		}
@@ -191,14 +198,16 @@ func clusterParams(hosts int) workload.ClusterParams {
 }
 
 // buildCluster assembles the physical cluster for a topology. The torus
-// uses the most square factorisation of the host count.
-func buildCluster(specs []topology.HostSpec, topo Topology) (*cluster.Cluster, error) {
+// uses the most square factorisation of the host count. linkBW and
+// linkLat are the physical interconnect parameters
+// (workload.PhysLinkBW/PhysLinkLat for the paper's fabric).
+func buildCluster(specs []topology.HostSpec, topo Topology, linkBW, linkLat float64) (*cluster.Cluster, error) {
 	switch topo {
 	case Switched:
-		return topology.Switched(specs, workload.SwitchPorts, workload.PhysLinkBW, workload.PhysLinkLat)
+		return topology.Switched(specs, workload.SwitchPorts, linkBW, linkLat)
 	default:
 		rows, cols := torusDims(len(specs))
-		return topology.Torus2D(specs, rows, cols, workload.PhysLinkBW, workload.PhysLinkLat)
+		return topology.Torus2D(specs, rows, cols, linkBW, linkLat)
 	}
 }
 
@@ -229,7 +238,7 @@ func execute(cfg Config, sc Scenario, topo Topology, name string, rep int, c *cl
 
 	start := time.Now() //hmn:wallclock
 	if name == "HMN" {
-		h := &core.HMN{Overhead: cfg.Overhead}
+		h := &core.HMN{Overhead: cfg.Overhead, RouteWorkers: cfg.RouteWorkers}
 		m, st, err := h.MapWithStats(c, env)
 		r.MapSeconds = time.Since(start).Seconds() //hmn:wallclock
 		r.Stages = st

@@ -39,6 +39,14 @@ type AStarPruneOptions struct {
 	// per search. When nil a scratch is borrowed from an internal
 	// sync.Pool. A scratch is NOT safe for concurrent use.
 	Scratch *AStarScratch
+
+	// Arena optionally supplies the slab allocator the returned Path's
+	// backing arrays are carved from, so a caller routing many links
+	// amortises the two per-path allocations over large shared chunks.
+	// Storage carved for a path is never reused (see PathArena). Nil
+	// allocates each path individually, as before. An arena is NOT safe
+	// for concurrent use.
+	Arena *PathArena
 }
 
 // AStarScratch is the reusable allocation state of AStarPrune: the typed
@@ -209,7 +217,7 @@ func AStarPrune(g *Graph, origin, dest NodeID, bandwidth, latency float64, resid
 	for len(sc.heap) > 0 {
 		best := sc.pop()
 		if best.node == dest {
-			return best.path(g), true
+			return best.pathIn(g, opts.Arena), true
 		}
 		expansions++
 		if opts.MaxExpansions > 0 && expansions > opts.MaxExpansions {
@@ -347,9 +355,19 @@ func (s *apState) contains(n NodeID) bool {
 	return false
 }
 
-func (s *apState) path(g *Graph) Path {
-	nodes := make([]NodeID, s.hops+1)
-	edges := make([]int, s.hops)
+func (s *apState) path(g *Graph) Path { return s.pathIn(g, nil) }
+
+// pathIn materialises the parent-linked partial path, carving the
+// backing arrays from arena when one is supplied.
+func (s *apState) pathIn(g *Graph, arena *PathArena) Path {
+	var nodes []NodeID
+	var edges []int
+	if arena != nil {
+		nodes, edges = arena.alloc(s.hops)
+	} else {
+		nodes = make([]NodeID, s.hops+1)
+		edges = make([]int, s.hops)
+	}
 	at := s
 	for i := s.hops; at != nil; at = at.parent {
 		nodes[i] = at.node

@@ -23,6 +23,19 @@ func TrivialPath(n NodeID) Path {
 	return Path{Nodes: []NodeID{n}}
 }
 
+// TrivialPathIn is TrivialPath with the single-node backing array carved
+// from arena (nil allocates, as TrivialPath does). Mappings with heavy
+// co-location produce one trivial path per internalised link, so the
+// routing hot path arena-allocates them alongside the real paths.
+func TrivialPathIn(n NodeID, arena *PathArena) Path {
+	if arena == nil {
+		return TrivialPath(n)
+	}
+	nodes, _ := arena.alloc(0)
+	nodes[0] = n
+	return Path{Nodes: nodes}
+}
+
 // Len returns the number of hops (edges) in the path.
 func (p Path) Len() int { return len(p.Edges) }
 

@@ -152,6 +152,7 @@ func (s *Server) Recover() error {
 			if err != nil {
 				return err
 			}
+			cs.SetRouteWorkers(s.cfg.RouteWorkers)
 			sess := s.sessionShell(sn.SID, sn.Cluster, sn.Mapper, cs)
 			sess.overhead.Proc, sess.overhead.Mem, sess.overhead.Stor = sn.Proc, sn.Mem, sn.Stor
 			sess.nextEnv = int(sn.NextEnv)
@@ -177,6 +178,7 @@ func (s *Server) Recover() error {
 			if err != nil {
 				return err
 			}
+			cs.SetRouteWorkers(s.cfg.RouteWorkers)
 			restoring[rec.SID] = s.sessionShell(rec.SID, rec.Open.Cluster, rec.Open.Mapper, cs)
 			restoring[rec.SID].overhead.Proc = rec.Open.Proc
 			restoring[rec.SID].overhead.Mem = rec.Open.Mem
