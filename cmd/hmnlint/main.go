@@ -1,9 +1,12 @@
-// Command hmnlint is the repo's static-analysis gate: four analyzers
+// Command hmnlint is the repo's static-analysis gate: eight analyzers
 // that enforce determinism (seeded randomness, no wall-clock reads,
 // no map-order dependent output), lock discipline on //hmn:guardedby
-// state, the single sentinel→HTTP-status table, and metrics naming
-// hygiene. See DESIGN.md §11 for the invariant table and the
-// annotation escape hatches.
+// state, the single sentinel→HTTP-status table, metrics naming
+// hygiene, WAL/replay coverage of every event kind, allocation-free
+// //hmn:noalloc hot paths, lock-acquisition ordering (//hmn:lockorder),
+// and the //hmn:journaled write funnel for copy-on-write snapshots.
+// See DESIGN.md §11 for the invariant table and the annotation escape
+// hatches.
 //
 // Two ways to run it:
 //

@@ -32,16 +32,22 @@ var ErrOverheadExceedsCapacity = errors.New("cluster: VMM overhead exceeds a hos
 type Ledger struct {
 	c *Cluster
 	// residual CPU per host index (may go negative)
+	//hmn:journaled
 	proc []float64 //hmn:guardedby session
 	// residual memory per host index
+	//hmn:journaled
 	mem []int64 //hmn:guardedby session
 	// residual storage per host index
+	//hmn:journaled
 	stor []float64 //hmn:guardedby session
 	// residual bandwidth per edge ID
+	//hmn:journaled
 	bw []float64 //hmn:guardedby session
 	// per host index: no new guests accepted
+	//hmn:journaled
 	quarantined []bool //hmn:guardedby session
 	// per edge ID: carries no new traffic
+	//hmn:journaled
 	cutEdges []bool //hmn:guardedby session
 	// moved by CutEdge/RestoreEdge; keys derived caches. Zero is reserved
 	// for the canonical no-cuts topology so restoring the last cut edge
@@ -135,6 +141,8 @@ func NewLedger(c *Cluster, overhead VMMOverhead) (*Ledger, error) {
 // and any attached host order can never drift from the ledger.
 //
 //hmn:locked session
+//hmn:journalmutator
+//hmn:noalloc
 func (l *Ledger) applyProc(i int, delta float64) {
 	old := l.proc[i]
 	nw := old + delta
@@ -161,6 +169,7 @@ func (l *Ledger) SetProcHook(fn func(host int)) { l.procHook = fn }
 // from the running sums.
 //
 //hmn:locked session
+//hmn:noalloc
 func (l *Ledger) ObjectiveStdDev() float64 {
 	return l.stdDevFromSums(l.sumProcSq.s)
 }
@@ -174,6 +183,7 @@ func (l *Ledger) ObjectiveStdDev() float64 {
 // full recompute is needed per candidate.
 //
 //hmn:locked session
+//hmn:noalloc
 func (l *Ledger) DeltaStdDev(origin, dest graph.NodeID, mips float64) float64 {
 	po := l.proc[l.c.hostIdx(origin)]
 	pd := l.proc[l.c.hostIdx(dest)]
@@ -192,6 +202,7 @@ func (l *Ledger) DeltaStdDev(origin, dest graph.NodeID, mips float64) float64 {
 // this once per pair.
 //
 //hmn:locked session
+//hmn:noalloc
 func (l *Ledger) DeltaStdDevSwap(a, b graph.NodeID, mipsA, mipsB float64) float64 {
 	return l.DeltaStdDev(a, b, mipsA-mipsB)
 }
@@ -205,6 +216,7 @@ func (l *Ledger) DeltaStdDevSwap(a, b graph.NodeID, mipsA, mipsB float64) float6
 // whether it still improves the live ledger.
 //
 //hmn:locked session
+//hmn:noalloc
 func (l *Ledger) DeltaStdDevShift(hosts []graph.NodeID, deltas []float64) float64 {
 	sum, sumSq := l.sumProc.s, l.sumProcSq.s
 	for i, n := range hosts {
@@ -221,6 +233,7 @@ func (l *Ledger) DeltaStdDevShift(hosts []graph.NodeID, deltas []float64) float6
 // cancellation clamp to zero.
 //
 //hmn:locked session
+//hmn:noalloc
 func (l *Ledger) stdDevFromSums(sumSq float64) float64 {
 	return l.stdDevFromSumPair(l.sumProc.s, sumSq)
 }
@@ -231,6 +244,7 @@ func (l *Ledger) stdDevFromSums(sumSq float64) float64 {
 // to zero.
 //
 //hmn:locked session
+//hmn:noalloc
 func (l *Ledger) stdDevFromSumPair(sum, sumSq float64) float64 {
 	n := float64(len(l.proc))
 	if n == 0 {
@@ -275,6 +289,7 @@ func (l *Ledger) Clone() *Ledger {
 // — per §3.2 it is the optimisation variable, not a constraint.
 //
 //hmn:locked session
+//hmn:noalloc
 func (l *Ledger) Fits(node graph.NodeID, mem int64, stor float64) bool {
 	i := l.c.hostIdx(node)
 	return !l.quarantined[i] && l.mem[i] >= mem && l.stor[i] >= stor
@@ -291,6 +306,7 @@ func (l *Ledger) Fits(node graph.NodeID, mem int64, stor float64) bool {
 // released on the same host.
 //
 //hmn:locked session
+//hmn:journalmutator
 func (l *Ledger) Quarantine(node graph.NodeID) {
 	i := l.c.hostIdx(node)
 	l.quarantined[i] = true
@@ -307,6 +323,7 @@ func (l *Ledger) Quarantined(node graph.NodeID) bool {
 // Unquarantine readmits the host at node.
 //
 //hmn:locked session
+//hmn:journalmutator
 func (l *Ledger) Unquarantine(node graph.NodeID) {
 	i := l.c.hostIdx(node)
 	l.quarantined[i] = false
@@ -318,6 +335,7 @@ func (l *Ledger) Unquarantine(node graph.NodeID) {
 // negative; residual CPU is allowed to go negative.
 //
 //hmn:locked session
+//hmn:journalmutator
 func (l *Ledger) ReserveGuest(node graph.NodeID, proc float64, mem int64, stor float64) error {
 	i := l.c.hostIdx(node)
 	if l.quarantined[i] {
@@ -340,6 +358,7 @@ func (l *Ledger) ReserveGuest(node graph.NodeID, proc float64, mem int64, stor f
 // guest away.
 //
 //hmn:locked session
+//hmn:journalmutator
 func (l *Ledger) ReleaseGuest(node graph.NodeID, proc float64, mem int64, stor float64) {
 	i := l.c.hostIdx(node)
 	l.applyProc(i, proc)
@@ -389,6 +408,7 @@ func (l *Ledger) ResidualBandwidth(edgeID int) float64 {
 // and maintenance. Cutting an already-cut edge is a no-op.
 //
 //hmn:locked session
+//hmn:journalmutator
 func (l *Ledger) CutEdge(edgeID int) {
 	if l.cutEdges[edgeID] {
 		return
@@ -411,6 +431,7 @@ func (l *Ledger) EdgeCut(edgeID int) bool { return l.cutEdges[edgeID] }
 // warmed before the failure become valid again instead of being rebuilt.
 //
 //hmn:locked session
+//hmn:journalmutator
 func (l *Ledger) RestoreEdge(edgeID int) {
 	if !l.cutEdges[edgeID] {
 		return
@@ -461,6 +482,7 @@ func (l *Ledger) BandwidthFunc() graph.BandwidthFunc {
 // untouched. The trivial (intra-host) path reserves nothing.
 //
 //hmn:locked session
+//hmn:journalmutator
 func (l *Ledger) ReserveBandwidth(path graph.Path, bw float64) error {
 	for _, eid := range path.Edges {
 		if l.cutEdges[eid] {
@@ -481,6 +503,7 @@ func (l *Ledger) ReserveBandwidth(path graph.Path, bw float64) error {
 // ReserveBandwidth.
 //
 //hmn:locked session
+//hmn:journalmutator
 func (l *Ledger) ReleaseBandwidth(path graph.Path, bw float64) {
 	for _, eid := range path.Edges {
 		l.bw[eid] += bw

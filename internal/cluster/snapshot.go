@@ -38,6 +38,7 @@ const jCap = 8192
 // jHost journals a mutation of host row i.
 //
 //hmn:locked session
+//hmn:noalloc
 func (l *Ledger) jHost(i int) {
 	if !l.jEnabled {
 		return
@@ -48,6 +49,7 @@ func (l *Ledger) jHost(i int) {
 // jEdge journals a mutation of edge row e.
 //
 //hmn:locked session
+//hmn:noalloc
 func (l *Ledger) jEdge(e int) {
 	if !l.jEnabled {
 		return
@@ -56,13 +58,14 @@ func (l *Ledger) jEdge(e int) {
 }
 
 //hmn:locked session
+//hmn:noalloc
 func (l *Ledger) jAppend(v int32) {
 	if len(l.jEntries) >= jCap {
 		l.jGen++
 		l.jOverflow = true
 		l.jEntries = l.jEntries[:0]
 	}
-	l.jEntries = append(l.jEntries, v)
+	l.jEntries = append(l.jEntries, v) //hmn:allocok capacity is jCap from EnableJournal; the truncation above keeps len under it
 }
 
 // EnableJournal turns on write journaling so snapshots of this ledger
@@ -105,6 +108,7 @@ func (l *Ledger) Snapshot() *Ledger {
 // must not be mutating concurrently.
 //
 //hmn:locked session
+//hmn:noalloc
 func (l *Ledger) SyncFrom(src *Ledger) {
 	if l.c != src.c {
 		panic("cluster: SyncFrom across clusters")
@@ -128,9 +132,14 @@ func (l *Ledger) SyncFrom(src *Ledger) {
 // CopyFrom overwrites every row and scalar of l with src's, reusing l's
 // arrays — the allocation-free equivalent of Clone into existing
 // storage. The proc hook and journal enablement of l are preserved; the
-// snapshot is re-pinned at src's current journal position.
+// snapshot is re-pinned at src's current journal position. It needs no
+// journal entries of its own: the overwritten values belonged to a
+// stale snapshot nobody reads through, and l's journal is reset to the
+// new pin in the same breath.
 //
 //hmn:locked session
+//hmn:journalmutator
+//hmn:noalloc
 func (l *Ledger) CopyFrom(src *Ledger) {
 	if l.c != src.c {
 		panic("cluster: CopyFrom across clusters")
@@ -148,7 +157,14 @@ func (l *Ledger) CopyFrom(src *Ledger) {
 	l.syncOff = len(src.jEntries)
 }
 
+// copyRow overwrites one journaled row of l (host index for v >= 0,
+// edge index for v = ^e) with src's current value. It is the replay
+// side of the journal: SyncFrom drives it from src's journal entries,
+// so the write is the recorded change, not a new one to record.
+//
 //hmn:locked session
+//hmn:journalmutator
+//hmn:noalloc
 func (l *Ledger) copyRow(src *Ledger, v int32) {
 	if v >= 0 {
 		i := int(v)
@@ -164,6 +180,7 @@ func (l *Ledger) copyRow(src *Ledger, v int32) {
 }
 
 //hmn:locked session
+//hmn:noalloc
 func (l *Ledger) copyScalars(src *Ledger) {
 	l.topoGen = src.topoGen
 	l.cutCount = src.cutCount

@@ -116,16 +116,19 @@ func (ps *parScratch) ensure(workers, numEdges int) {
 // route speculatively routes this worker's share of the round — slots
 // first, first+stride, ... — against the (frozen) round-start ledger,
 // recording each search's accepted-read edge set.
+//
+//hmn:noalloc
 func (w *parWorker) route(net *graph.Graph, led *cluster.Ledger, batch []virtual.Link, assign []graph.NodeID, specs []specResult, base graph.AStarPruneOptions, first, stride int) {
 	bwBase := led.BandwidthFunc()
 	var demand float64
 	// One closure per round, not per link: it reads the loop-updated
 	// demand so every search shares it.
+	//hmn:allocok one closure per round, amortised over roundSize searches
 	bw := func(eid int) float64 {
 		r := bwBase(eid)
 		if r >= demand && w.seen[eid] != w.epoch {
 			w.seen[eid] = w.epoch
-			w.reads = append(w.reads, int32(eid))
+			w.reads = append(w.reads, int32(eid)) //hmn:allocok reads buffer reaches round high-water once, then recycles
 		}
 		return r
 	}
@@ -156,6 +159,8 @@ func (w *parWorker) route(net *graph.Graph, led *cluster.Ledger, batch []virtual
 // already in canonical order, and the produced paths, reservations,
 // and errors are bit-identical to the sequential loop for any worker
 // count. See the package comment above for the argument.
+//
+//hmn:noalloc
 func routeLinksParallel(led *cluster.Ledger, v *virtual.Env, links []virtual.Link, assign []graph.NodeID, paths []graph.Path, astar graph.AStarPruneOptions, arTo func(graph.NodeID) []float64, workers int, ms *mapScratch) error {
 	net := led.Cluster().Net()
 	bwLive := led.BandwidthFunc()
@@ -163,11 +168,11 @@ func routeLinksParallel(led *cluster.Ledger, v *virtual.Env, links []virtual.Lin
 	var ps *parScratch
 	if ms != nil {
 		if ms.par == nil {
-			ms.par = &parScratch{}
+			ms.par = &parScratch{} //hmn:allocok once per pooled mapScratch, then reused forever
 		}
 		ps = ms.par
 	} else { // one-shot mappers: per-call state, as everywhere else
-		ps = &parScratch{}
+		ps = &parScratch{} //hmn:allocok one-shot mappers have no pool to recycle from
 	}
 	ps.ensure(workers, net.NumEdges())
 
@@ -195,7 +200,7 @@ func routeLinksParallel(led *cluster.Ledger, v *virtual.Env, links []virtual.Lin
 		batch := links[start:end]
 
 		if cap(ps.specs) < len(batch) {
-			ps.specs = make([]specResult, len(batch))
+			ps.specs = make([]specResult, len(batch)) //hmn:allocok grows to the round-size high-water, then reused
 		}
 		specs := ps.specs[:len(batch)]
 
@@ -221,7 +226,7 @@ func routeLinksParallel(led *cluster.Ledger, v *virtual.Env, links []virtual.Lin
 			w := ps.workers[wi]
 			w.reads = w.reads[:0]
 			wg.Add(1)
-			go func(w *parWorker, first int) {
+			go func(w *parWorker, first int) { //hmn:allocok per-round worker launch; the barrier amortises it over specPerWorker searches
 				defer wg.Done()
 				w.route(net, led, batch, assign, specs, astar, first, n)
 			}(w, wi)
@@ -265,7 +270,7 @@ func routeLinksParallel(led *cluster.Ledger, v *virtual.Env, links []virtual.Lin
 				var ok bool
 				p, ok = graph.AStarPrune(net, src, dst, link.BW, link.Lat, bwLive, &opts)
 				if !ok {
-					return fmt.Errorf("%w: link %d (%s-%s, %.3fMbps within %.1fms) between hosts %d and %d",
+					return fmt.Errorf("%w: link %d (%s-%s, %.3fMbps within %.1fms) between hosts %d and %d", //hmn:allocok no-path failure ends the mapping attempt
 						ErrNoPath, link.ID, v.Guest(link.From).Name, v.Guest(link.To).Name,
 						link.BW, link.Lat, src, dst)
 				}
@@ -274,7 +279,7 @@ func routeLinksParallel(led *cluster.Ledger, v *virtual.Env, links []virtual.Lin
 				// Unreachable for the same reason as the sequential loop:
 				// committed speculations re-verified their reads, and
 				// re-routes saw the live ledger.
-				panic("core: A*Prune returned an unreservable path: " + err.Error())
+				panic("core: A*Prune returned an unreservable path: " + err.Error()) //hmn:allocok unreachable invariant-violation path
 			}
 			for _, eid := range p.Edges {
 				ps.dirty[eid] = ps.round

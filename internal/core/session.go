@@ -288,6 +288,7 @@ func (s *Session) MapWithStats(v *virtual.Env) (*mapping.Mapping, AdmitStats, er
 // freeSnapshotLocked once the attempt is over.
 //
 //hmn:locked mu
+//hmn:noalloc
 func (s *Session) snapshotLocked() *cluster.Ledger {
 	if n := len(s.snapFree); n > 0 {
 		snap := s.snapFree[n-1]
@@ -303,13 +304,21 @@ func (s *Session) snapshotLocked() *cluster.Ledger {
 // and must not touch snap afterwards.
 //
 //hmn:locked mu
+//hmn:noalloc
 func (s *Session) freeSnapshotLocked(snap *cluster.Ledger) {
-	s.snapFree = append(s.snapFree, snap)
+	s.snapFree = append(s.snapFree, snap) //hmn:allocok grows to the high-water snapshot count, then recycles
 }
 
 // MapTagged is MapWithStats with a caller tag attached to the admission:
 // the tag rides the commit event and the session snapshot (hmnd passes
 // its environment ID), and repairs carry it to replacement mappings.
+//
+// The admission loop itself is annotated allocation-free: the per-attempt
+// allocations live in the designated constructors it calls (mapping.New,
+// the scratch pools), so any new allocating construct added here is a
+// hotpathalloc diagnostic.
+//
+//hmn:noalloc
 func (s *Session) MapTagged(v *virtual.Env, tag string) (*mapping.Mapping, AdmitStats, error) {
 	var st AdmitStats
 	for try := 0; try < s.optimisticRetries; try++ {
@@ -413,6 +422,8 @@ func admissionTxn(led *cluster.Ledger, v *virtual.Env, m *mapping.Mapping) *clus
 // fillAdmissionTxn accumulates m's net effect into txn, which must be
 // fresh or Reset. Split from admissionTxn so the session's commit funnel
 // can reuse one transaction across admissions.
+//
+//hmn:noalloc
 func fillAdmissionTxn(txn *cluster.Txn, v *virtual.Env, m *mapping.Mapping) {
 	for g, node := range m.GuestHost {
 		guest := v.Guest(virtual.GuestID(g))
@@ -435,6 +446,7 @@ func fillAdmissionTxn(txn *cluster.Txn, v *virtual.Env, m *mapping.Mapping) {
 // reproduces the residual vectors bit-for-bit. Callers hold s.mu.
 //
 //hmn:locked mu
+//hmn:noalloc
 func (s *Session) commitTxnLocked(v *virtual.Env, m *mapping.Mapping, tag string) (uint64, error) {
 	if s.txn == nil {
 		s.txn = s.led.NewTxn()
@@ -453,18 +465,20 @@ func (s *Session) commitTxnLocked(v *virtual.Env, m *mapping.Mapping, tag string
 // either way (see emitLocked). Callers hold s.mu.
 //
 //hmn:locked mu
+//hmn:noalloc
 func (s *Session) emitAdmitLocked(seq uint64, tag string, v *virtual.Env, m *mapping.Mapping) {
 	if s.hook == nil {
 		s.opCount++
 		return
 	}
-	s.emitLocked(Event{Type: EventAdmit, Admit: &AdmitInfo{Seq: seq, Tag: tag, Env: v, M: m}})
+	s.emitLocked(Event{Type: EventAdmit, Admit: &AdmitInfo{Seq: seq, Tag: tag, Env: v, M: m}}) //hmn:allocok built only when a hook is listening; the early return above covers steady state
 }
 
 // admitLocked registers m as active and bumps the version. Callers hold
 // s.mu and have already applied m's reservations to s.led.
 //
 //hmn:locked mu
+//hmn:noalloc
 func (s *Session) admitLocked(m *mapping.Mapping, tag string) uint64 {
 	s.version++
 	s.nextSeq++

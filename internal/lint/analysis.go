@@ -1,6 +1,7 @@
 // Package lint is hmnlint: a static-analysis suite that enforces the
-// repo's determinism, lock-discipline, sentinel-mapping and metrics
-// hygiene invariants at compile time (DESIGN.md §11).
+// repo's determinism, lock-discipline, sentinel-mapping, metrics
+// hygiene, WAL/replay coverage, hot-path allocation, lock-order and
+// journal-discipline invariants at compile time (DESIGN.md §11).
 //
 // The suite is modelled on golang.org/x/tools/go/analysis — each check
 // is an *Analyzer with a Run(*Pass) function and the drivers feed it
@@ -68,6 +69,10 @@ func Analyzers() []*Analyzer {
 		LockDisciplineAnalyzer,
 		SentinelHTTPAnalyzer,
 		MetricsNamesAnalyzer,
+		WALCoverageAnalyzer,
+		HotPathAllocAnalyzer,
+		LockOrderAnalyzer,
+		JournalDisciplineAnalyzer,
 	}
 }
 

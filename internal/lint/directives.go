@@ -14,6 +14,13 @@ import (
 //	//hmn:locked <mutex>            function requires the caller to hold <mutex>
 //	//hmn:sentineltable             the package's one sentinel→HTTP-status table
 //	//hmn:exactobjective            deliberate O(H) Eq. (10) recompute (debug path)
+//	//hmn:walencoder                the one event→record conversion (walcoverage)
+//	//hmn:walreplayer               the one record→Replay* dispatch (walcoverage)
+//	//hmn:noalloc                   function must not heap-allocate (hotpathalloc)
+//	//hmn:allocok <reason>          deliberate allocation inside a noalloc function
+//	//hmn:lockorder <first> <second> declared acquisition order: first before second
+//	//hmn:journaled                 field writes must flow through journal mutators
+//	//hmn:journalmutator            approved journal-recording write funnel
 //
 // A directive written on its own line annotates the line below it; a
 // trailing directive annotates its own line. <mutex> is either a sibling
@@ -26,6 +33,13 @@ const (
 	dirLocked         = "locked"
 	dirSentinelTable  = "sentineltable"
 	dirExactObjective = "exactobjective"
+	dirWALEncoder     = "walencoder"
+	dirWALReplayer    = "walreplayer"
+	dirNoAlloc        = "noalloc"
+	dirAllocOK        = "allocok"
+	dirLockOrder      = "lockorder"
+	dirJournaled      = "journaled"
+	dirJournalMutator = "journalmutator"
 )
 
 // directive is one parsed //hmn: comment.
@@ -112,6 +126,41 @@ func (p *Pass) annotated(file *ast.File, pos token.Pos, name string) (string, bo
 		}
 	}
 	return "", false
+}
+
+// funcAnnotated reports whether fd carries the named directive — on the
+// declaration line, the line above it, or anywhere in its doc comment
+// block (the usual home of function-level directives) — and returns the
+// directive's argument.
+func funcAnnotated(pass *Pass, file *ast.File, fd *ast.FuncDecl, name string) (string, bool) {
+	if arg, ok := pass.annotated(file, fd.Pos(), name); ok {
+		return arg, true
+	}
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if d, ok := parseDirective(c); ok && d.name == name {
+				return d.arg, true
+			}
+		}
+	}
+	return "", false
+}
+
+// packageDirectives collects every //hmn:<name> directive in the
+// package, wherever it is written — for package-scoped declarations such
+// as //hmn:lockorder.
+func (p *Pass) packageDirectives(name string) []directive {
+	var out []directive
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if d, ok := parseDirective(c); ok && d.name == name {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
 }
 
 // fileOf returns the *ast.File containing pos.

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAllocAnalyzer enforces //hmn:noalloc: a function so annotated
+// sits on an admission/routing/snapshot hot path whose allocs/op budget
+// is zero, and every construct that can heap-allocate inside it is a
+// per-expression diagnostic instead of a coarse per-benchmark number.
+// Flagged constructs:
+//
+//   - make/new/append builtins (growth or fresh backing arrays);
+//   - &CompositeLit{...} (escapes to the heap when it outlives the
+//     frame, which the compiler decides — the annotation forbids the
+//     gamble);
+//   - map and slice composite literals (always allocate);
+//   - function literals (closure environments);
+//   - fmt.Errorf/Sprintf/Sprint/Sprintln and errors.New (boxing plus
+//     formatting buffers);
+//   - conversions of concrete values to interface types (boxing);
+//   - non-constant string concatenation (fresh backing array).
+//
+// Plain value struct literals (Unit{}, graph.Path{}) stay legal: they
+// are stack or in-place assignments. A deliberate allocation on a cold
+// branch is excused line-by-line with //hmn:allocok <reason>; the
+// reason is mandatory.
+var HotPathAllocAnalyzer = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flag heap-allocating constructs inside functions annotated //hmn:noalloc",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := funcAnnotated(pass, file, fd, dirNoAlloc); !ok {
+				continue
+			}
+			checkNoAllocBody(pass, file, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkNoAllocBody(pass *Pass, file *ast.File, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if reason, ok := pass.annotated(file, pos, dirAllocOK); ok {
+			if reason == "" {
+				pass.Reportf(pos, "//hmn:allocok needs a reason justifying the allocation")
+			}
+			return
+		}
+		args = append(args, fd.Name.Name)
+		pass.Reportf(pos, format+" in //hmn:noalloc function %s", args...)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Keep walking the body: it is lexically part of the hot path
+			// and its own allocations count too.
+			report(n.Pos(), "closure allocates its environment")
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, n, report)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			t := typeOf(pass.TypesInfo, n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates a backing array")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				tv := pass.TypesInfo.Types[n]
+				if tv.Type == nil {
+					break
+				}
+				if basic, ok := tv.Type.Underlying().(*types.Basic); ok &&
+					basic.Info()&types.IsString != 0 && tv.Value == nil {
+					report(n.Pos(), "string concatenation allocates")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkNoAllocCall flags the allocating call forms: the make/new/append
+// builtins, the fmt/errors constructors, and conversions that box a
+// concrete value into an interface.
+func checkNoAllocCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				report(call.Pos(), b.Name()+" allocates")
+			case "append":
+				report(call.Pos(), "append may grow the backing array")
+			}
+			return
+		}
+	}
+	if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+		switch path, name := fn.Pkg().Path(), fn.Name(); {
+		case path == "fmt" && (name == "Errorf" || name == "Sprintf" || name == "Sprint" || name == "Sprintln"),
+			path == "errors" && name == "New":
+			report(call.Pos(), "fmt/errors constructor allocates and boxes")
+		}
+		return
+	}
+	// Conversion: T(x) where T is an interface and x is concrete.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if !types.IsInterface(tv.Type) {
+			return
+		}
+		if argT := typeOf(pass.TypesInfo, call.Args[0]); argT != nil && !types.IsInterface(argT) {
+			report(call.Pos(), "conversion to interface boxes the value")
+		}
+	}
+}

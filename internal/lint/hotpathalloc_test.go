@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, lint.HotPathAllocAnalyzer,
+		"./testdata/src/hotpathalloc",
+	)
+}

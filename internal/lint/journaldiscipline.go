@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// JournalDisciplineAnalyzer protects the copy-on-write snapshot
+// machinery: a slice field annotated //hmn:journaled (the ledger's
+// per-host and per-edge residual arrays) may only be written by
+// functions annotated //hmn:journalmutator — the funnel that records
+// the overwritten value into the change journal before mutating. A
+// bare l.proc[i] = x anywhere else would silently corrupt every open
+// snapshot that still shares the array.
+//
+// Flagged write shapes, inside any function not annotated:
+//
+//   - indexed assignment l.field[i] = v (plain or compound);
+//   - whole-field reassignment l.field = v, l.field = append(...);
+//   - increment/decrement l.field[i]++;
+//   - builtin copy/clear with the journaled field as destination.
+//
+// Escapes: //hmn:journalmutator on the writing function — which must
+// carry a doc comment justifying how the journal entry is recorded —
+// or a receiver that is a local variable (constructors build ledgers
+// nobody has snapshotted yet). Reads are always free.
+var JournalDisciplineAnalyzer = &Analyzer{
+	Name: "journaldiscipline",
+	Doc:  "flag writes to //hmn:journaled fields outside //hmn:journalmutator funnels",
+	Run:  runJournalDiscipline,
+}
+
+// journalDisciplinePkgs holds the package that owns the journaled
+// ledger arrays.
+var journalDisciplinePkgs = map[string]bool{
+	"repro/internal/cluster": true,
+}
+
+func runJournalDiscipline(pass *Pass) (interface{}, error) {
+	if !analyzerInScope(pass.Pkg.Path(), "journaldiscipline", func(p string) bool { return journalDisciplinePkgs[p] }) {
+		return nil, nil
+	}
+	journaled := collectJournaledFields(pass)
+	if len(journaled) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := funcAnnotated(pass, file, fd, dirJournalMutator); ok {
+				if !hasProseDoc(fd) {
+					pass.Reportf(fd.Pos(),
+						"//hmn:journalmutator function %s needs a doc comment justifying how it records the journal entry",
+						fd.Name.Name)
+				}
+				continue
+			}
+			checkJournalWrites(pass, fd, journaled)
+		}
+	}
+	return nil, nil
+}
+
+// hasProseDoc reports whether fd carries a doc comment with at least
+// one non-directive line — a bare //hmn: stack is an annotation, not a
+// justification.
+func hasProseDoc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if _, isDirective := parseDirective(c); !isDirective && strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectJournaledFields finds every //hmn:journaled field annotation
+// in the package, in the collectGuardedFields mold.
+func collectJournaledFields(pass *Pass) map[*types.Var]bool {
+	journaled := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if _, ok := pass.annotated(file, field.Pos(), dirJournaled); !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						journaled[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return journaled
+}
+
+// checkJournalWrites reports every write to a journaled field inside a
+// non-mutator function.
+func checkJournalWrites(pass *Pass, fd *ast.FuncDecl, journaled map[*types.Var]bool) {
+	report := func(pos token.Pos, field *types.Var, shape string) {
+		pass.Reportf(pos,
+			"%s to journaled field %s outside a //hmn:journalmutator funnel; "+
+				"route the write through the journal-recording mutators so open snapshots see the old value",
+			shape, field.Name())
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				field, indexed := journaledTarget(pass, lhs, journaled)
+				if field == nil {
+					continue
+				}
+				shape := "assignment"
+				if !indexed {
+					shape = "reassignment"
+				}
+				if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+					shape = "compound assignment"
+				}
+				report(lhs.Pos(), field, shape)
+			}
+		case *ast.IncDecStmt:
+			if field, _ := journaledTarget(pass, n.X, journaled); field != nil {
+				report(n.X.Pos(), field, "increment/decrement")
+			}
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok || len(n.Args) == 0 {
+				return true
+			}
+			b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+			if !ok || (b.Name() != "copy" && b.Name() != "clear") {
+				return true
+			}
+			if field, _ := journaledTarget(pass, n.Args[0], journaled); field != nil {
+				report(n.Args[0].Pos(), field, b.Name()+" write")
+			}
+		}
+		return true
+	})
+}
+
+// journaledTarget resolves an assignment target to the journaled field
+// it writes, if any: either field[i] (indexed=true) or the field
+// itself. Writes through locally constructed receivers are exempt —
+// nobody holds a snapshot of an unpublished ledger.
+func journaledTarget(pass *Pass, e ast.Expr, journaled map[*types.Var]bool) (field *types.Var, indexed bool) {
+	e = ast.Unparen(e)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e, indexed = ast.Unparen(ix.X), true
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !journaled[v] {
+		return nil, false
+	}
+	if receiverIsLocal(pass, sel.X) {
+		return nil, false
+	}
+	return v, indexed
+}

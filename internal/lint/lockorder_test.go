@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lint.LockOrderAnalyzer,
+		"./testdata/src/lockorder",
+	)
+}

@@ -1,0 +1,86 @@
+// Package hotpathalloc exercises the //hmn:noalloc annotation: every
+// heap-allocating construct fires inside an annotated function, escape
+// hatches need a reason, and unannotated functions are free.
+package hotpathalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// point is a plain value struct: its literals do not allocate.
+type point struct{ x, y int }
+
+// state is the fixture's hot-path owner.
+type state struct {
+	buf   []int
+	table map[string]int
+}
+
+// hotAllocs trips every flagged construct once.
+//
+//hmn:noalloc
+func hotAllocs(s *state, a, b string) error {
+	v := make([]int, 4) // want `make allocates in //hmn:noalloc function hotAllocs`
+	_ = v
+	p := new(point) // want `new allocates in //hmn:noalloc function hotAllocs`
+	_ = p
+	s.buf = append(s.buf, 1) // want `append may grow the backing array in //hmn:noalloc function hotAllocs`
+	q := &point{x: 1}        // want `&composite literal escapes to the heap in //hmn:noalloc function hotAllocs`
+	_ = q
+	m := map[string]int{"a": 1} // want `map literal allocates in //hmn:noalloc function hotAllocs`
+	_ = m
+	sl := []int{1, 2} // want `slice literal allocates a backing array in //hmn:noalloc function hotAllocs`
+	_ = sl
+	f := func() int { return 1 } // want `closure allocates its environment in //hmn:noalloc function hotAllocs`
+	_ = f()
+	err := fmt.Errorf("a=%s", a) // want `fmt/errors constructor allocates and boxes in //hmn:noalloc function hotAllocs`
+	_ = err
+	err = errors.New("boom") // want `fmt/errors constructor allocates and boxes in //hmn:noalloc function hotAllocs`
+	cat := a + b             // want `string concatenation allocates in //hmn:noalloc function hotAllocs`
+	_ = cat
+	return err
+}
+
+// namedErr is a concrete error type, to exercise interface boxing.
+type namedErr struct{}
+
+func (namedErr) Error() string { return "named" }
+
+// hotBoxes a concrete value into an interface via conversion.
+//
+//hmn:noalloc
+func hotBoxes(e namedErr) error {
+	return error(e) // want `conversion to interface boxes the value in //hmn:noalloc function hotBoxes`
+}
+
+// hotClean stays within the budget: value literals, constant-folded
+// concatenation, indexing and arithmetic are all allocation-free.
+//
+//hmn:noalloc
+func hotClean(s *state, i int) int {
+	pt := point{x: i, y: i + 1}
+	const tag = "a" + "b" // folded at compile time, not flagged
+	if len(s.buf) > i {
+		s.buf[i] = pt.x
+	}
+	_ = tag
+	return pt.x + pt.y
+}
+
+// hotExcused escapes deliberately, with reasons.
+//
+//hmn:noalloc
+func hotExcused(s *state) {
+	s.buf = append(s.buf, 1) //hmn:allocok grows to the high-water mark once, then recycles
+	//hmn:allocok
+	bad := make([]int, 1) // want `//hmn:allocok needs a reason justifying the allocation`
+	_ = bad
+}
+
+// coldPath is unannotated: the same constructs are free here.
+func coldPath(a, b string) (string, error) {
+	m := map[string]int{"a": 1}
+	_ = m
+	return a + b, fmt.Errorf("cold %s", b)
+}

@@ -1,0 +1,62 @@
+// Package journaldiscipline exercises the //hmn:journaled funnel: every
+// write shape to an annotated field fires outside a mutator, mutators
+// with a justifying doc comment are free, and unpublished (locally
+// constructed) ledgers are exempt.
+package journaldiscipline
+
+// led mimics the cluster ledger: two journaled arrays, one free one.
+type led struct {
+	//hmn:journaled
+	hosts []float64
+	//hmn:journaled
+	edges []float64
+	// scratch is not journaled; writes to it are always free.
+	scratch []float64
+	journal []int32
+}
+
+// record is the fixture's stand-in journal append.
+func (l *led) record(v int32) { l.journal = append(l.journal, v) }
+
+// setHost journals the old row before overwriting — the approved
+// funnel shape.
+//
+//hmn:journalmutator
+func (l *led) setHost(i int, v float64) {
+	l.record(int32(i))
+	l.hosts[i] = v
+}
+
+//hmn:journalmutator
+func (l *led) undocumented(i int, v float64) { // want `//hmn:journalmutator function undocumented needs a doc comment`
+	l.hosts[i] = v
+}
+
+// rogue hits every write shape outside the funnel.
+func (l *led) rogue(i int, v float64, src []float64) {
+	l.hosts[i] = v               // want `assignment to journaled field hosts outside a //hmn:journalmutator funnel`
+	l.edges[i] -= v              // want `compound assignment to journaled field edges outside a //hmn:journalmutator funnel`
+	l.hosts[i]++                 // want `increment/decrement to journaled field hosts outside a //hmn:journalmutator funnel`
+	l.edges = append(l.edges, v) // want `reassignment to journaled field edges outside a //hmn:journalmutator funnel`
+	copy(l.hosts, src)           // want `copy write to journaled field hosts outside a //hmn:journalmutator funnel`
+	clear(l.edges)               // want `clear write to journaled field edges outside a //hmn:journalmutator funnel`
+	l.scratch[i] = v             // unjournaled: free
+}
+
+// build constructs an unpublished ledger: nobody holds a snapshot of
+// it yet, so direct writes are fine.
+func build(n int) *led {
+	l := &led{
+		hosts:   make([]float64, n),
+		edges:   make([]float64, n),
+		scratch: make([]float64, n),
+	}
+	for i := range l.hosts {
+		l.hosts[i] = 1
+	}
+	l.edges = l.edges[:0]
+	return l
+}
+
+// reader only reads journaled fields — always free.
+func (l *led) reader(i int) float64 { return l.hosts[i] + l.edges[i] }

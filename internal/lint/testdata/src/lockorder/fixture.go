@@ -1,0 +1,122 @@
+// Package lockorder exercises the lock-acquisition graph: a two-path
+// cycle, a declared-order violation, a violation charged through an
+// //hmn:locked helper, a cycle observed through a same-package call,
+// and the explicit-unlock idiom that orders rather than nests.
+package lockorder
+
+import "sync"
+
+// cyclic holds two mutexes that two functions take in opposite orders.
+type cyclic struct {
+	mu1, mu2 sync.Mutex
+	n        int
+}
+
+func (c *cyclic) forward() {
+	c.mu1.Lock()
+	defer c.mu1.Unlock()
+	c.mu2.Lock() // want `acquiring "cyclic.mu2" while holding "cyclic.mu1" is part of a lock-order cycle`
+	defer c.mu2.Unlock()
+	c.n++
+}
+
+func (c *cyclic) backward() {
+	c.mu2.Lock()
+	defer c.mu2.Unlock()
+	c.mu1.Lock() // want `acquiring "cyclic.mu1" while holding "cyclic.mu2" is part of a lock-order cycle`
+	defer c.mu1.Unlock()
+	c.n++
+}
+
+// declared documents alpha-before-beta, then one path reverses it.
+type declared struct {
+	//hmn:lockorder alpha beta
+	alpha sync.Mutex
+	beta  sync.Mutex
+	n     int
+}
+
+func (d *declared) rightWay() {
+	d.alpha.Lock()
+	d.n++
+	d.alpha.Unlock() // explicit: no nesting, no edge
+	d.beta.Lock()
+	d.n++
+	d.beta.Unlock()
+}
+
+func (d *declared) wrongWay() {
+	d.beta.Lock()
+	defer d.beta.Unlock()
+	d.alpha.Lock() // want `acquiring "declared.alpha" while holding "declared.beta" violates the declared order //hmn:lockorder alpha beta`
+	defer d.alpha.Unlock()
+	d.n++
+}
+
+// contract's helper declares gamma held on entry, so its delta
+// acquisition is an edge out of the caller's lock.
+type contract struct {
+	//hmn:lockorder delta gamma
+	gamma sync.Mutex
+	delta sync.Mutex
+	n     int
+}
+
+// bumpLocked runs under gamma and takes delta — backwards against the
+// declared delta-before-gamma order.
+//
+//hmn:locked gamma
+func (c *contract) bumpLocked() {
+	c.delta.Lock() // want `acquiring "contract.delta" while holding "contract.gamma" violates the declared order //hmn:lockorder delta gamma`
+	defer c.delta.Unlock()
+	c.n++
+}
+
+// chained only ever nests through a callee: one function holds muX and
+// calls a helper that takes muY, another nests the two directly in the
+// opposite order — a cycle no single function shows.
+type chained struct {
+	muX, muY sync.Mutex
+	n        int
+}
+
+func (c *chained) viaCall() {
+	c.muX.Lock()
+	defer c.muX.Unlock()
+	c.takeY() // want `acquiring "chained.muY" while holding "chained.muX" is part of a lock-order cycle`
+}
+
+func (c *chained) takeY() {
+	c.muY.Lock()
+	defer c.muY.Unlock()
+	c.n++
+}
+
+func (c *chained) direct() {
+	c.muY.Lock()
+	defer c.muY.Unlock()
+	c.muX.Lock() // want `acquiring "chained.muX" while holding "chained.muY" is part of a lock-order cycle`
+	defer c.muX.Unlock()
+	c.n++
+}
+
+// barrier mirrors the wal log: mu is dropped explicitly before syncMu
+// is taken, so the only edge is the declared syncMu-before-mu one.
+type barrier struct {
+	//hmn:lockorder syncMu mu
+	mu     sync.Mutex
+	syncMu sync.Mutex
+	n      int
+}
+
+func (b *barrier) sync() {
+	b.mu.Lock()
+	target := b.n
+	b.mu.Unlock() // explicit: mu is no longer held
+
+	b.syncMu.Lock()
+	defer b.syncMu.Unlock()
+	b.mu.Lock()
+	b.n = target + 1
+	b.mu.Unlock()
+}

@@ -1,0 +1,29 @@
+// Package badevents exercises the event-side walcoverage failures: an
+// event kind with no Replay method, and a Replay method that never
+// checks the divergence sentinel.
+package badevents
+
+import "errors"
+
+// EventType discriminates session events.
+type EventType int
+
+// The fixture's event kinds.
+const (
+	EventGood   EventType = iota
+	EventOrphan           // want `EventOrphan has no ReplayOrphan method`
+)
+
+// ErrReplayDiverged is present, so the per-method checks run.
+var ErrReplayDiverged = errors.New("badevents: replay diverged")
+
+// Session is the replay target.
+type Session struct {
+	seq uint64
+}
+
+// ReplayGood applies the event but forgets the divergence check.
+func (s *Session) ReplayGood(seq uint64) error { // want `ReplayGood never checks ErrReplayDiverged`
+	s.seq = seq
+	return nil
+}

@@ -1,0 +1,45 @@
+// Package badreplay exercises the replayer-side walcoverage failures:
+// a kind with no dispatch case, and a kind whose case never calls the
+// Replay method.
+package badreplay
+
+import (
+	ev "repro/internal/lint/testdata/src/walcoverage/events"
+)
+
+// Both kinds exist, so the constant check passes.
+const (
+	KindAdmit = "admit"
+	KindDrop  = "drop"
+)
+
+// Record is one on-disk entry.
+type Record struct {
+	Kind string
+	Seq  uint64
+}
+
+// RecordFromEvent covers both events and kinds — clean.
+//
+//hmn:walencoder
+func RecordFromEvent(e ev.Event, seq uint64) *Record {
+	switch e.Type {
+	case ev.EventAdmit:
+		return &Record{Kind: KindAdmit, Seq: seq}
+	case ev.EventDrop:
+		return &Record{Kind: KindDrop, Seq: seq}
+	}
+	return nil
+}
+
+// replay has an Admit case that never reaches ReplayAdmit, and no
+// KindDrop case at all.
+//
+//hmn:walreplayer
+func replay(s *ev.Session, r *Record) error { // want `KindDrop has no case in //hmn:walreplayer function replay` `//hmn:walreplayer function replay never calls ReplayAdmit`
+	switch r.Kind {
+	case KindAdmit:
+		return nil // acknowledged, never applied
+	}
+	return nil
+}

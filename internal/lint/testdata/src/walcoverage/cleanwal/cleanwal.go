@@ -1,0 +1,51 @@
+// Package cleanwal is the log-side fixture that satisfies walcoverage:
+// one Kind* constant per imported Event* kind (plus the exempt
+// lifecycle kinds), one annotated encoder covering every event, and
+// one annotated replayer dispatching every kind to its Replay method.
+package cleanwal
+
+import (
+	ev "repro/internal/lint/testdata/src/walcoverage/events"
+)
+
+// Record kinds. Open and Close have no Event counterpart: they are
+// lifecycle records the server dispatches itself, and walcoverage
+// exempts them.
+const (
+	KindOpen  = "open"
+	KindClose = "close"
+	KindAdmit = "admit"
+	KindDrop  = "drop"
+)
+
+// Record is one on-disk entry.
+type Record struct {
+	Kind string
+	Seq  uint64
+}
+
+// RecordFromEvent is the one event→record conversion.
+//
+//hmn:walencoder
+func RecordFromEvent(e ev.Event, seq uint64) *Record {
+	switch e.Type {
+	case ev.EventAdmit:
+		return &Record{Kind: KindAdmit, Seq: seq}
+	case ev.EventDrop:
+		return &Record{Kind: KindDrop, Seq: seq}
+	}
+	return nil
+}
+
+// ReplayRecord is the one record→Replay* dispatch.
+//
+//hmn:walreplayer
+func ReplayRecord(s *ev.Session, r *Record) error {
+	switch r.Kind {
+	case KindAdmit:
+		return s.ReplayAdmit(r.Seq)
+	case KindDrop:
+		return s.ReplayDrop(r.Seq)
+	}
+	return nil
+}

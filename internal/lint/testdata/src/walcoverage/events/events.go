@@ -1,0 +1,53 @@
+// Package events is the event-side fixture for walcoverage: it stands
+// in for internal/core, declaring EventType, two Event* kinds, the
+// divergence sentinel and a Replay* method per kind — one checking the
+// sentinel directly, one through a same-package *Locked helper.
+package events
+
+import "errors"
+
+// EventType discriminates session events.
+type EventType int
+
+// The fixture's event kinds.
+const (
+	EventAdmit EventType = iota
+	EventDrop
+)
+
+// ErrReplayDiverged is the divergence sentinel every Replay* method
+// must be able to return.
+var ErrReplayDiverged = errors.New("events: replay diverged")
+
+// Event is one logged operation.
+type Event struct {
+	Type EventType
+}
+
+// Session is the replay target.
+type Session struct {
+	seq uint64
+}
+
+// ReplayAdmit delegates the divergence check to the *Locked helper —
+// the analyzer must follow one level of same-package calls.
+func (s *Session) ReplayAdmit(seq uint64) error {
+	return s.replayAdmitLocked(seq)
+}
+
+func (s *Session) replayAdmitLocked(seq uint64) error {
+	if seq != s.seq+1 {
+		return ErrReplayDiverged
+	}
+	s.seq = seq
+	return nil
+}
+
+// ReplayDrop checks the sentinel directly.
+func (s *Session) ReplayDrop(seq uint64) error {
+	if seq != s.seq+1 {
+		return ErrReplayDiverged
+	}
+	s.seq = seq
+	return nil
+}

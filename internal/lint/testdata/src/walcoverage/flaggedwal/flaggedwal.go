@@ -1,0 +1,49 @@
+// Package flaggedwal exercises the encoder-side walcoverage failures:
+// a missing Kind constant, an encoder that drops an event kind, an
+// encoder case that never writes its Kind constant, and a duplicate
+// encoder annotation.
+package flaggedwal // want `EventDrop has no KindDrop constant`
+
+import (
+	ev "repro/internal/lint/testdata/src/walcoverage/events"
+)
+
+// KindAdmit is the only record kind; KindDrop is missing.
+const KindAdmit = "admit"
+
+// Record is one on-disk entry.
+type Record struct {
+	Kind string
+	Seq  uint64
+}
+
+// encode references EventAdmit but writes a raw string instead of
+// KindAdmit, and has no EventDrop case at all.
+//
+//hmn:walencoder
+func encode(e ev.Event, seq uint64) *Record { // want `EventDrop has no case in //hmn:walencoder function encode` `//hmn:walencoder function encode handles EventAdmit without writing KindAdmit`
+	if e.Type == ev.EventAdmit {
+		return &Record{Kind: "admit", Seq: seq}
+	}
+	return nil
+}
+
+// encodeAgain claims to be the conversion too.
+//
+//hmn:walencoder
+func encodeAgain(e ev.Event) *Record { // want `duplicate //hmn:walencoder`
+	_ = e
+	return nil
+}
+
+// replay is clean for the one kind that exists; the missing KindDrop
+// is reported once at the constant check, not again here.
+//
+//hmn:walreplayer
+func replay(s *ev.Session, r *Record) error {
+	switch r.Kind {
+	case KindAdmit:
+		return s.ReplayAdmit(r.Seq)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+// Package nofuncs imports the event surface but annotates no encoder
+// and no replayer: walcoverage reports each missing role once.
+package nofuncs // want `package encodes events for the log but has no //hmn:walencoder function` `package encodes events for the log but has no //hmn:walreplayer function`
+
+import (
+	ev "repro/internal/lint/testdata/src/walcoverage/events"
+)
+
+// Both kinds exist; only the conversion functions are missing.
+const (
+	KindAdmit = "admit"
+	KindDrop  = "drop"
+)
+
+// Encode converts events without declaring itself the encoder.
+func Encode(e ev.Event) string {
+	if e.Type == ev.EventAdmit {
+		return KindAdmit
+	}
+	return KindDrop
+}

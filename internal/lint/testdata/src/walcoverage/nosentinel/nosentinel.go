@@ -1,0 +1,20 @@
+// Package nosentinel declares event kinds but no ErrReplayDiverged at
+// all: walcoverage reports the missing sentinel once (and still checks
+// method existence) instead of flagging every method.
+package nosentinel // want `package declares Event\* kinds but no ErrReplayDiverged sentinel`
+
+// EventType discriminates session events.
+type EventType int
+
+// The fixture's event kinds.
+const (
+	EventPing EventType = iota
+	EventLost           // want `EventLost has no ReplayLost method`
+)
+
+// Session is the replay target.
+type Session struct{}
+
+// ReplayPing exists, but with no sentinel in the package its body
+// cannot be checked for one.
+func (s *Session) ReplayPing(seq uint64) error { return nil }

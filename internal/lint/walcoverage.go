@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WALCoverageAnalyzer keeps the durability boundary exhaustive: every
+// session event kind must be encodable, decodable and replayable, so a
+// new mutating operation cannot ship without crash recovery. It
+// cross-checks the two sides of the boundary:
+//
+// On the event-defining side (internal/core — any enrolled package
+// declaring a type named EventType with Event* constants):
+//
+//  1. the package declares the ErrReplayDiverged sentinel;
+//  2. every Event<S> constant has a Replay<S> method, so each logged
+//     operation kind can be re-applied;
+//  3. each Replay<S> method references ErrReplayDiverged — directly or
+//     through a same-package function it calls (one level deep, the
+//     *Locked helper convention) — so replay refuses to diverge
+//     silently instead of corrupting every admission after a mismatch.
+//
+// On the log side (internal/wal — enrolled packages importing an
+// event-defining package):
+//
+//  4. every Event<S> has a string constant Kind<S> discriminating its
+//     record on disk;
+//  5. exactly one function carries //hmn:walencoder and it references
+//     every Event<S> and every Kind<S> — the single event→record
+//     conversion cannot silently drop a case;
+//  6. exactly one function carries //hmn:walreplayer, references every
+//     Kind<S> and calls every Replay<S> — the record→session dispatch
+//     covers each kind.
+//
+// Kind constants without a matching Event (KindOpen/KindClose, the
+// session-lifecycle records the server dispatches itself) are exempt.
+var WALCoverageAnalyzer = &Analyzer{
+	Name: "walcoverage",
+	Doc: "require every core Event* kind to have a wal Kind* constant, an encode case, " +
+		"a Replay* method and an ErrReplayDiverged check",
+	Run: runWALCoverage,
+}
+
+// walCoveragePkgs are the two sides of the real durability boundary.
+var walCoveragePkgs = map[string]bool{
+	"repro/internal/core": true,
+	"repro/internal/wal":  true,
+}
+
+// replaySentinelName is the divergence sentinel every Replay* method
+// must be able to return.
+const replaySentinelName = "ErrReplayDiverged"
+
+func runWALCoverage(pass *Pass) (interface{}, error) {
+	if !analyzerInScope(pass.Pkg.Path(), "walcoverage", func(p string) bool { return walCoveragePkgs[p] }) {
+		return nil, nil
+	}
+	if suffixes, consts := eventSuffixesOf(pass.Pkg); len(suffixes) > 0 {
+		checkEventSide(pass, suffixes, consts)
+		return nil, nil
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if suffixes, consts := eventSuffixesOf(imp); len(suffixes) > 0 {
+			checkLogSide(pass, suffixes, consts)
+			return nil, nil
+		}
+	}
+	return nil, nil
+}
+
+// eventSuffixesOf returns the event kind suffixes pkg declares — the <S>
+// of every constant Event<S> of a named type EventType — sorted, plus
+// the constant objects by suffix.
+func eventSuffixesOf(pkg *types.Package) ([]string, map[string]*types.Const) {
+	scope := pkg.Scope()
+	et, ok := scope.Lookup("EventType").(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	var suffixes []string
+	consts := make(map[string]*types.Const)
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Event") || name == "EventType" {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Type() != et.Type() {
+			continue
+		}
+		s := strings.TrimPrefix(name, "Event")
+		suffixes = append(suffixes, s)
+		consts[s] = c
+	}
+	sort.Strings(suffixes)
+	return suffixes, consts
+}
+
+// checkEventSide enforces the Replay surface of an event-defining
+// package: one Replay<S> per Event<S>, each able to return the
+// divergence sentinel.
+func checkEventSide(pass *Pass, suffixes []string, consts map[string]*types.Const) {
+	sentinel, _ := pass.Pkg.Scope().Lookup(replaySentinelName).(*types.Var)
+	if sentinel == nil {
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"package declares Event* kinds but no %s sentinel; replay must refuse to diverge",
+			replaySentinelName)
+	}
+	methods, bodies := packageFuncs(pass)
+	for _, s := range suffixes {
+		fd := methods["Replay"+s]
+		if fd == nil {
+			pass.Reportf(consts[s].Pos(),
+				"Event%s has no Replay%s method; every event kind must be replayable from the log",
+				s, s)
+			continue
+		}
+		if sentinel == nil {
+			continue
+		}
+		if !referencesObj(pass, fd.Body, sentinel) && !calleeReferences(pass, fd.Body, bodies, sentinel) {
+			pass.Reportf(fd.Pos(),
+				"Replay%s never checks %s; verify the logged sequence numbers and refuse to diverge",
+				s, replaySentinelName)
+		}
+	}
+}
+
+// checkLogSide enforces the record surface of a log package against the
+// imported event kinds.
+func checkLogSide(pass *Pass, suffixes []string, eventConsts map[string]*types.Const) {
+	scope := pass.Pkg.Scope()
+	kindConsts := make(map[string]*types.Const)
+	for _, s := range suffixes {
+		c, ok := scope.Lookup("Kind" + s).(*types.Const)
+		if !ok {
+			pass.Reportf(pass.Files[0].Name.Pos(),
+				"Event%s has no Kind%s constant; every event kind needs an on-disk record kind",
+				s, s)
+			continue
+		}
+		kindConsts[s] = c
+	}
+
+	encoder := soleAnnotatedFunc(pass, dirWALEncoder)
+	if encoder != nil {
+		for _, s := range suffixes {
+			if !referencesObj(pass, encoder.Body, eventConsts[s]) {
+				pass.Reportf(encoder.Pos(),
+					"Event%s has no case in //hmn:walencoder function %s; the event cannot reach the log",
+					s, encoder.Name.Name)
+			} else if c := kindConsts[s]; c != nil && !referencesObj(pass, encoder.Body, c) {
+				pass.Reportf(encoder.Pos(),
+					"//hmn:walencoder function %s handles Event%s without writing Kind%s",
+					encoder.Name.Name, s, s)
+			}
+		}
+	}
+
+	replayer := soleAnnotatedFunc(pass, dirWALReplayer)
+	if replayer != nil {
+		for _, s := range suffixes {
+			c := kindConsts[s]
+			if c == nil {
+				continue // the missing constant is already reported above
+			}
+			if !referencesObj(pass, replayer.Body, c) {
+				pass.Reportf(replayer.Pos(),
+					"Kind%s has no case in //hmn:walreplayer function %s; the record cannot be replayed",
+					s, replayer.Name.Name)
+				continue
+			}
+			if !callsMethod(pass, replayer.Body, "Replay"+s) {
+				pass.Reportf(replayer.Pos(),
+					"//hmn:walreplayer function %s never calls Replay%s", replayer.Name.Name, s)
+			}
+		}
+	}
+}
+
+// soleAnnotatedFunc locates the package's one function annotated with
+// dir, reporting when it is missing or duplicated (nil either way on
+// missing; the first declaration on duplicates).
+func soleAnnotatedFunc(pass *Pass, dir string) *ast.FuncDecl {
+	var found []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := funcAnnotated(pass, file, fd, dir); ok {
+				found = append(found, fd)
+			}
+		}
+	}
+	switch {
+	case len(found) == 0:
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"package encodes events for the log but has no //hmn:%s function", dir)
+		return nil
+	case len(found) > 1:
+		for _, fd := range found[1:] {
+			pass.Reportf(fd.Pos(),
+				"duplicate //hmn:%s: the conversion must live in exactly one function (first is %s)",
+				dir, found[0].Name.Name)
+		}
+	}
+	return found[0]
+}
+
+// packageFuncs indexes the package's function declarations: methods by
+// name (any receiver) and every declaration by its *types.Func.
+func packageFuncs(pass *Pass) (map[string]*ast.FuncDecl, map[*types.Func]*ast.FuncDecl) {
+	methods := make(map[string]*ast.FuncDecl)
+	bodies := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil {
+				methods[fd.Name.Name] = fd
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				bodies[fn] = fd
+			}
+		}
+	}
+	return methods, bodies
+}
+
+// referencesObj reports whether any identifier under n resolves to obj.
+func referencesObj(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// calleeReferences reports whether a function called directly from body
+// (same package, one level deep) references obj — the *Locked helper
+// convention, where the entry point delegates the sentinel checks.
+func calleeReferences(pass *Pass, body ast.Node, bodies map[*types.Func]*ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if fd := bodies[fn]; fd != nil && referencesObj(pass, fd.Body, obj) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// callsMethod reports whether body contains a method call named name.
+func callsMethod(pass *Pass, body ast.Node, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn.Name() == name {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestWALCoverage(t *testing.T) {
+	analysistest.Run(t, lint.WALCoverageAnalyzer,
+		"./testdata/src/walcoverage/events",
+		"./testdata/src/walcoverage/badevents",
+		"./testdata/src/walcoverage/nosentinel",
+		"./testdata/src/walcoverage/cleanwal",
+		"./testdata/src/walcoverage/flaggedwal",
+		"./testdata/src/walcoverage/badreplay",
+		"./testdata/src/walcoverage/nofuncs",
+	)
+}

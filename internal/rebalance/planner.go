@@ -114,6 +114,8 @@ func Plan(view core.PlanView, maxMoves int) []Unit {
 // nextUnit proposes the round's best unit and applies it to the planning
 // state. noSwaps suppresses swap candidates when the remaining move
 // budget cannot fit two guest moves.
+//
+//hmn:noalloc
 func (p *planner) nextUnit(noSwaps bool) (Unit, bool) {
 	donors := p.donorOrder()
 	if len(donors) == 0 {
@@ -137,7 +139,7 @@ func (p *planner) nextUnit(noSwaps bool) (Unit, bool) {
 			}
 			delta := p.led.DeltaStdDev(origin, dest, ref.proc)
 			if delta < -eps {
-				u := Unit{Moves: []core.GuestMove{p.move(ref, origin, dest)}, Delta: delta}
+				u := Unit{Moves: []core.GuestMove{p.move(ref, origin, dest)}, Delta: delta} //hmn:allocok one slice per accepted unit; candidate scoring above is allocation-free
 				p.apply(ref, origin, dest)
 				return u, true
 			}
@@ -167,6 +169,8 @@ func (p *planner) nextUnit(noSwaps bool) (Unit, bool) {
 // feasible swap. The first destination offering any improving pair wins
 // — mirroring the §4.2 "first destination that improves" rule — with the
 // best pair chosen within that destination.
+//
+//hmn:noalloc
 func (p *planner) bestSwapFrom(a graph.NodeID, dests []graph.NodeID, eps float64) (Unit, bool) {
 	for _, b := range dests {
 		if b == a || p.led.Quarantined(b) || p.led.Quarantined(a) {
@@ -189,7 +193,7 @@ func (p *planner) bestSwapFrom(a graph.NodeID, dests []graph.NodeID, eps float64
 					continue
 				}
 				best = Unit{
-					Moves: []core.GuestMove{p.move(ga, a, b), p.move(gb, b, a)},
+					Moves: []core.GuestMove{p.move(ga, a, b), p.move(gb, b, a)}, //hmn:allocok one slice per improving pair found; scoring rejects without allocating
 					Delta: delta,
 					Swap:  true,
 				}
@@ -239,6 +243,8 @@ func (p *planner) destOrder() []graph.NodeID {
 // victim picks §4.2's migration victim on origin: the guest with the
 // smallest total bandwidth to co-located guests (ties: lower seq, then
 // lower guest ID), so moving it internalises the least traffic.
+//
+//hmn:noalloc
 func (p *planner) victim(origin graph.NodeID) (guestRef, bool) {
 	refs := p.on[origin]
 	if len(refs) == 0 {
@@ -257,6 +263,8 @@ func (p *planner) victim(origin graph.NodeID) (guestRef, bool) {
 // coLocatedBW sums the bandwidth of ref's virtual links whose other
 // endpoint currently shares its host — the §4.2 migration cost metric,
 // evaluated within ref's own environment.
+//
+//hmn:noalloc
 func (p *planner) coLocatedBW(ref guestRef) float64 {
 	pe := &p.view.Envs[ref.envIdx]
 	node := pe.GuestHost[ref.id]

@@ -222,7 +222,10 @@ type Server struct {
 
 	// wal is the write-ahead log; nil without Config.DataDir. It is set
 	// by Recover before replaying flips to false, and the /v1 readiness
-	// gate keeps every handler out until then.
+	// gate keeps every handler out until then. snapStop and snapDone
+	// follow the same publication rule: written once by Recover before
+	// the replaying flip, then only ever closed/received by Close after
+	// the drain, so neither needs mu.
 	wal       *wal.WAL
 	replaying atomic.Bool
 	snapStop  chan struct{}

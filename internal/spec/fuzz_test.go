@@ -2,7 +2,12 @@ package spec
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/virtual"
 )
 
 // FuzzDecodeSpec drives arbitrary bytes through the strict JSON decoder
@@ -22,8 +27,19 @@ func FuzzDecodeSpec(f *testing.F) {
 		`{"guests":[{"name":"g0","proc_mips":100,"mem_mb":256,"stor_gb":1},
 		  {"proc_mips":200,"mem_mb":512,"stor_gb":2}],
 		  "links":[{"from":0,"to":1,"bw_mbps":10,"lat_ms":2}]}`,
-		// A mapping.
+		// A mapping, node paths only: ToMapping re-resolves edges.
 		`{"guest_host":[0,2],"link_paths":[[0,1,2]],"objective":12.5}`,
+		// The same mapping with exact edges recorded (the WAL replay
+		// shape); edge 2 is the parallel 1-2 link that node resolution
+		// alone would never pick.
+		`{"guest_host":[0,2],"link_paths":[[0,1,2]],"link_edges":[[0,1]],"objective":12.5}`,
+		`{"guest_host":[0,2],"link_paths":[[0,1,2]],"link_edges":[[0,2]],"objective":12.5}`,
+		// Hostile edge lists: wrong edge count, out-of-range edge ID,
+		// mismatched list count, edge that does not join its node pair.
+		`{"guest_host":[0,2],"link_paths":[[0,1,2]],"link_edges":[[0]],"objective":0}`,
+		`{"guest_host":[0,2],"link_paths":[[0,1,2]],"link_edges":[[0,9]],"objective":0}`,
+		`{"guest_host":[0,2],"link_paths":[[0,1,2]],"link_edges":[[0,1],[1]],"objective":0}`,
+		`{"guest_host":[0,2],"link_paths":[[0,1,2]],"link_edges":[[1,0]],"objective":0}`,
 		// Strictness triggers: unknown field, wrong type, trailing junk.
 		`{"nodes":3,"hosts":[],"links":[],"extra":true}`,
 		`{"guests":[{"proc_mips":"fast"}]}`,
@@ -57,11 +73,55 @@ func FuzzDecodeSpec(f *testing.F) {
 				})
 			}
 		}
-		// Mappings only decode here: ToMapping needs a live cluster and
-		// environment to resolve paths against.
+		// Mappings convert against a fixed topology so the exact-edge
+		// replay path (link_edges) is exercised, not just decoded. Any
+		// mapping ToMapping accepts must survive its own FromMapping
+		// output with the edge choice intact — including the parallel
+		// 1-2 link that node re-resolution alone cannot distinguish.
 		var ms MappingSpec
-		_ = DecodeStrict(bytes.NewReader(data), &ms)
+		if err := DecodeStrict(bytes.NewReader(data), &ms); err == nil {
+			c, v := fuzzTopology(t)
+			if m, err := ms.ToMapping(c, v); err == nil {
+				out := FromMapping(m, cluster.VMMOverhead{})
+				roundTrip(t, out, func(rt MappingSpec) error {
+					m2, err := rt.ToMapping(c, v)
+					if err != nil {
+						return err
+					}
+					for l, p := range m2.LinkPath {
+						if fmt.Sprint(p.Edges) != fmt.Sprint(out.LinkEdges[l]) {
+							return fmt.Errorf("link %d replayed edges %v, recorded %v", l, p.Edges, out.LinkEdges[l])
+						}
+					}
+					return nil
+				})
+			}
+		}
 	})
+}
+
+// fuzzTopology builds the fixed 3-node cluster (hosts on nodes 0 and 2,
+// a switch on node 1, and two parallel 1-2 links so exact-edge replay is
+// distinguishable from node re-resolution) and the 2-guest environment
+// that the mapping seeds are written against.
+func fuzzTopology(t *testing.T) (*cluster.Cluster, *virtual.Env) {
+	t.Helper()
+	g := graph.New(3)
+	g.AddEdge(0, 1, 100, 0.5) // edge 0
+	g.AddEdge(1, 2, 100, 0.5) // edge 1
+	g.AddEdge(1, 2, 10, 5)    // edge 2: parallel to edge 1
+	c, err := cluster.New(g, []cluster.Host{
+		{Node: 0, Name: "h0", Proc: 1000, Mem: 2048, Stor: 100},
+		{Node: 2, Name: "h2", Proc: 500, Mem: 1024, Stor: 50},
+	})
+	if err != nil {
+		t.Fatalf("building fuzz cluster: %v", err)
+	}
+	v := virtual.NewEnv()
+	v.AddGuest("g0", 100, 256, 1)
+	v.AddGuest("g1", 200, 512, 2)
+	v.AddLink(0, 1, 10, 2)
+	return c, v
 }
 
 // roundTrip encodes v, strictly re-decodes it, and re-converts: a spec

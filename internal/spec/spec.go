@@ -221,8 +221,13 @@ func (s MappingSpec) ToMapping(c *cluster.Cluster, v *virtual.Env) (*mapping.Map
 				if eid < 0 || eid >= net.NumEdges() {
 					return nil, fmt.Errorf("spec: link %d edge %d out of range", l, eid)
 				}
+				// Check both endpoints explicitly: Edge.Other panics on a
+				// node the edge does not touch, and a hostile spec can
+				// name any edge here.
 				e := net.Edge(eid)
-				if e.Other(p.Nodes[i]) != p.Nodes[i+1] {
+				ok := (e.A == p.Nodes[i] && e.B == p.Nodes[i+1]) ||
+					(e.B == p.Nodes[i] && e.A == p.Nodes[i+1])
+				if !ok {
 					return nil, fmt.Errorf("spec: link %d edge %d does not join nodes %d-%d", l, eid, nodes[i], nodes[i+1])
 				}
 			}

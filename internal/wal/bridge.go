@@ -25,6 +25,8 @@ import (
 // It runs inside the commit hook — under the session lock — so it only
 // serializes (spec conversions) and allocates; overhead parameterizes
 // the MappingSpec objective.
+//
+//hmn:walencoder
 func RecordFromEvent(sid string, overhead cluster.VMMOverhead, ev core.Event) *Record {
 	rec := &Record{SID: sid, Index: ev.Index}
 	switch ev.Type {
@@ -169,6 +171,8 @@ func OpenSession(rec *Record) (*core.Session, *cluster.Cluster, error) {
 // Callers dispatch open/close records themselves (they create and
 // retire sessions) and skip records whose Index is at or below the
 // session's snapshot OpCount.
+//
+//hmn:walreplayer
 func ReplayRecord(cs *core.Session, rec *Record) error {
 	c := cs.Cluster()
 	switch rec.Kind {

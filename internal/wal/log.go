@@ -92,7 +92,11 @@ type log struct {
 
 	// syncMu serializes fsync. Lock ordering: syncMu before mu — a
 	// barrier holds syncMu while it flushes under mu, then syncs with
-	// only syncMu held so appends continue meanwhile.
+	// only syncMu held so appends continue meanwhile. The contract is
+	// machine-checked: any path that takes syncMu while holding mu is a
+	// lockorder diagnostic.
+	//
+	//hmn:lockorder syncMu mu
 	syncMu    sync.Mutex
 	syncedSeq atomic.Uint64
 }
