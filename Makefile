@@ -1,6 +1,6 @@
 GOPATH_BIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test lint lint-fix-check vet fuzz clean bench-allocs bench-baselines bench-compare replay-smoke rebalance-smoke
+.PHONY: build test lint lint-fix-check vet fuzz clean bench-allocs bench-baselines bench-compare replay-smoke rebalance-smoke federation-smoke
 
 # Relative drift (percent) bench-compare tolerates on deterministic
 # metrics before failing. Timings never gate.
@@ -79,6 +79,13 @@ replay-smoke:
 ## and restart with -replay asserting byte-identical residuals.
 rebalance-smoke:
 	./scripts/rebalance_smoke.sh
+
+## federation-smoke crash-tests the sharded daemon: churn environments
+## across four tenants on `hmnd -shards 4`, kill -9, verify each
+## shard's WAL independently with hmnwal, and restart with -replay
+## asserting every shard answers byte-identical residuals.
+federation-smoke:
+	./scripts/federation_smoke.sh
 
 clean:
 	go clean ./...

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,8 +53,36 @@ func main() {
 		churn        = flag.Bool("churn", false, "run the admission churn benchmark, bare vs background rebalancer")
 		churnOps     = flag.Int("churn-ops", 200, "churn operations for the -churn benchmark")
 		routeWorkers = flag.Int("route-workers", 0, "HMN parallel Networking workers (<= 1 = serial; objectives are bit-identical, only timings move)")
+		fedShards    = flag.Int("shards", 0, "run the federation aggregate-throughput benchmark: -hosts total hosts as one cluster vs partitioned across this many shards")
+		fedOps       = flag.Int("fed-ops", 120, "admissions per federation run (needs -shards)")
+		fedGateway   = flag.Float64("gateway-bw", 0, "inter-shard gateway budget in Mbps for the federation benchmark (0 = splits disabled)")
 	)
 	flag.Parse()
+
+	if *fedShards > 0 {
+		cfg := exp.FederationConfig{Hosts: *hosts, Shards: *fedShards, Ops: *fedOps,
+			Seed: *seed, GatewayBW: *fedGateway}
+		res := exp.RunFederation(cfg)
+		if *jsonPath == "-" {
+			// '-json -' promises pure JSON on stdout, same as the sweep
+			// path; the human-readable table moves to stderr.
+			fmt.Fprint(os.Stderr, res)
+		} else {
+			fmt.Print(res)
+		}
+		if *jsonPath != "" {
+			doc := exp.JSONDocument{Hosts: *hosts, Seed: *seed, Federation: &res}
+			if err := writeFedJSON(doc, *jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "hmnbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if *fedGateway != 0 {
+		fmt.Fprintln(os.Stderr, "hmnbench: -gateway-bw needs -shards")
+		os.Exit(2)
+	}
 
 	if *parallel != 0 {
 		*workers = *parallel
@@ -209,6 +238,29 @@ func writeJSON(res *exp.Results, path string) error {
 		return fmt.Errorf("writing JSON: %w", err)
 	}
 	return f.Close()
+}
+
+// writeFedJSON renders a federation-only document to path ("-" =
+// stdout) for the hmncompare gate.
+func writeFedJSON(doc exp.JSONDocument, path string) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("writing JSON: %w", err)
+	}
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "hmnbench: wrote %s\n", path)
+	}
+	return nil
 }
 
 func validRuns(res *exp.Results) int {

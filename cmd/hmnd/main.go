@@ -65,6 +65,20 @@
 // mapping output is bit-identical to the serial stage for any worker
 // count, so the flag is purely a throughput knob.
 //
+// Federation: -shards N switches the daemon into sharded multi-cluster
+// mode — N fully independent shards (each its own session, ledger, WAL
+// directory and rebalance scheduler) behind a router that places each
+// environment by consistent hashing with a best-fit fallback, admitting
+// on per-shard workers so unrelated environments never contend on a
+// lock or an fsync. -shard-cluster names a cluster-spec JSON file
+// instantiated once per shard; -gateway-bw budgets the inter-shard
+// bandwidth that split admissions may charge. The durability and
+// rebalancing flags apply per shard (-data-dir holds one WAL directory
+// per shard plus the tenant registry, and a restart recovers every
+// shard before serving):
+//
+//	hmnd -addr :8080 -shards 4 -shard-cluster cluster.json -gateway-bw 100 -data-dir /var/lib/hmnd
+//
 // See the README's "hmnd service" section for a curl walkthrough.
 package main
 
@@ -83,6 +97,8 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/spec"
 )
 
 func main() {
@@ -102,8 +118,29 @@ func main() {
 		routeWkrs = flag.Int("route-workers", 0, "parallel Networking stage workers per admission (<= 1 = serial; output is bit-identical either way)")
 		mutexFrac = flag.Int("mutex-profile-fraction", 0, "runtime mutex profile sampling fraction for /debug/pprof/mutex (0 = disabled)")
 		blockRate = flag.Int("block-profile-rate", 0, "runtime block profile sampling rate in ns for /debug/pprof/block (0 = disabled)")
+		shards    = flag.Int("shards", 0, "federation mode: independent shard count (0 = single-session daemon)")
+		gatewayBW = flag.Float64("gateway-bw", 0, "inter-shard gateway bandwidth budget in Mbps for split admissions (needs -shards; 0 = splits disabled)")
+		shardSpec = flag.String("shard-cluster", "", "cluster spec JSON instantiated once per shard (needs -shards; optional when -data-dir holds recoverable state)")
 	)
 	flag.Parse()
+
+	if *shards > 0 {
+		fedCfg, err := federationConfig(*shards, *gatewayBW, *shardSpec, *timeout,
+			*dataDir, *snapEvery, *replay, *rebEvery, *rebMoves, *routeWkrs, *queue)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmnd: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runFederation(*addr, fedCfg, *drain, *pprofAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "hmnd: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *gatewayBW != 0 || *shardSpec != "" {
+		fmt.Fprintln(os.Stderr, "hmnd: -gateway-bw and -shard-cluster need -shards")
+		os.Exit(2)
+	}
 
 	cfg, err := buildConfig(*workers, *queue, *batch, *timeout)
 	if err == nil {
@@ -193,6 +230,127 @@ func profileConfig(cfg *server.Config, routeWorkers, mutexFrac, blockRate int) e
 	if blockRate > 0 {
 		runtime.SetBlockProfileRate(blockRate)
 	}
+	return nil
+}
+
+// federationConfig validates the federation flags into a FedConfig,
+// loading the per-shard cluster spec when one was named. The spec may
+// be omitted only when the data directory already holds recoverable
+// federation state.
+func federationConfig(shards int, gatewayBW float64, specPath string, timeout time.Duration,
+	dataDir string, snapEvery time.Duration, replay bool,
+	rebEvery time.Duration, rebMoves, routeWorkers, queue int) (server.FedConfig, error) {
+	var cfg server.FedConfig
+	if gatewayBW < 0 {
+		return cfg, fmt.Errorf("-gateway-bw must be >= 0, got %g", gatewayBW)
+	}
+	if timeout <= 0 {
+		return cfg, fmt.Errorf("-timeout must be positive, got %v", timeout)
+	}
+	if snapEvery < 0 {
+		return cfg, fmt.Errorf("-snapshot-interval must be >= 0, got %v", snapEvery)
+	}
+	if replay && dataDir == "" {
+		return cfg, fmt.Errorf("-replay needs -data-dir")
+	}
+	if rebEvery < 0 {
+		return cfg, fmt.Errorf("-rebalance-interval must be >= 0, got %v", rebEvery)
+	}
+	if rebMoves < 0 {
+		return cfg, fmt.Errorf("-rebalance-max-moves must be >= 0, got %d", rebMoves)
+	}
+	if routeWorkers < 0 {
+		return cfg, fmt.Errorf("-route-workers must be >= 0, got %d", routeWorkers)
+	}
+	recoverable := dataDir != "" && shard.HasState(dataDir)
+	if specPath == "" && !recoverable {
+		return cfg, fmt.Errorf("-shards needs -shard-cluster (no recoverable state in %q)", dataDir)
+	}
+	if specPath != "" && !recoverable {
+		raw, err := os.Open(specPath)
+		if err != nil {
+			return cfg, fmt.Errorf("-shard-cluster: %w", err)
+		}
+		defer raw.Close()
+		var cs spec.ClusterSpec
+		if err := spec.DecodeStrict(raw, &cs); err != nil {
+			return cfg, fmt.Errorf("-shard-cluster %s: %w", specPath, err)
+		}
+		cfg.ClusterSpecs = make([]spec.ClusterSpec, shards)
+		for k := range cfg.ClusterSpecs {
+			cfg.ClusterSpecs[k] = cs
+		}
+	}
+	cfg.GatewayBW = gatewayBW
+	cfg.DataDir = dataDir
+	cfg.SnapshotInterval = snapEvery
+	cfg.VerifyReplay = replay
+	cfg.RebalanceInterval = rebEvery
+	cfg.RebalanceMaxMoves = rebMoves
+	cfg.RouteWorkers = routeWorkers
+	cfg.RequestTimeout = timeout
+	cfg.QueueDepth = queue
+	return cfg, nil
+}
+
+// runFederation serves the sharded daemon until SIGINT/SIGTERM, then
+// drains: listener first (no admission left in flight), shards after.
+func runFederation(addr string, cfg server.FedConfig, drain time.Duration, pprofAddr string) error {
+	logger := log.New(os.Stderr, "hmnd: ", log.LstdFlags)
+	cfg.Logf = logger.Printf
+	srv := server.NewFederation(cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var pprofSrv *http.Server
+	if pprofAddr != "" {
+		pprofSrv = &http.Server{Addr: pprofAddr, Handler: pprofHandler()}
+		go func() {
+			logger.Printf("pprof listening on %s", pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+		defer pprofSrv.Close()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("federation listening on %s", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	// Recover with the listener already up, exactly as the classic mode:
+	// /v1 answers 503 "replaying" until every shard is rebuilt.
+	if err := srv.Recover(); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("recover: %w", err)
+	}
+	logger.Printf("federation serving (%d shards, gateway %g Mbps)",
+		srv.Federation().Shards(), srv.Federation().Stats().GatewayBudget)
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received, draining (budget %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// The listener must be fully down before the shards stop: an
+	// admission enqueued on a stopped shard worker would be lost.
+	err := httpSrv.Shutdown(shutdownCtx)
+	if cerr := srv.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logger.Printf("drained, exiting")
 	return nil
 }
 

@@ -142,5 +142,53 @@ func CompareDocs(base, cur JSONDocument, thresholdPct float64) CompareReport {
 	for _, k := range extra {
 		problem("series %s present in the current run but missing from the baseline", k)
 	}
+	compareFederation(base.Federation, cur.Federation, &rep)
 	return rep
+}
+
+// compareFederation gates the federation block's deterministic fields —
+// shard counts, admission/split/fallback tallies and the placement
+// digest, all pure functions of the seed — and reports throughput as
+// advisory timing, like every other wall-clock number. A baseline
+// without the block gates nothing, so committed BENCH_*.json files
+// predating the federation bench stay valid.
+func compareFederation(base, cur *FederationResult, rep *CompareReport) {
+	if base == nil {
+		return
+	}
+	problem := func(format string, args ...interface{}) {
+		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
+	}
+	if cur == nil {
+		problem("federation block present in the baseline but missing from the current run")
+		return
+	}
+	if len(base.Runs) != len(cur.Runs) {
+		problem("federation: %d runs in the baseline, %d in the current run", len(base.Runs), len(cur.Runs))
+		return
+	}
+	for i, bs := range base.Runs {
+		cs := cur.Runs[i]
+		if bs.Shards != cs.Shards || bs.Hosts != cs.Hosts || bs.Ops != cs.Ops {
+			problem("federation run %d: shape %d shards/%d hosts/%d ops -> %d/%d/%d",
+				i, bs.Shards, bs.Hosts, bs.Ops, cs.Shards, cs.Hosts, cs.Ops)
+			continue
+		}
+		if bs.Admitted != cs.Admitted || bs.Failed != cs.Failed ||
+			bs.Splits != cs.Splits || bs.Fallbacks != cs.Fallbacks {
+			problem("federation run %d (%d shards): admitted/failed/splits/fallbacks %d/%d/%d/%d -> %d/%d/%d/%d (deterministic counts must not move)",
+				i, bs.Shards, bs.Admitted, bs.Failed, bs.Splits, bs.Fallbacks,
+				cs.Admitted, cs.Failed, cs.Splits, cs.Fallbacks)
+		}
+		if bs.PlacementDigest != cs.PlacementDigest {
+			problem("federation run %d (%d shards): placement digest %s -> %s (placement must be byte-identical at a fixed seed)",
+				i, bs.Shards, bs.PlacementDigest, cs.PlacementDigest)
+		}
+		if bs.AdmitsPerSec > 0 {
+			rep.Timing = append(rep.Timing, fmt.Sprintf(
+				"timing (advisory): federation %d shards admits/s %.1f -> %.1f (%+.1f%%)",
+				bs.Shards, bs.AdmitsPerSec, cs.AdmitsPerSec,
+				(cs.AdmitsPerSec-bs.AdmitsPerSec)/bs.AdmitsPerSec*100))
+		}
+	}
 }

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"testing"
+)
+
+// smallFedConfig keeps the federation scenario fast enough for -race.
+func smallFedConfig() FederationConfig {
+	return FederationConfig{Hosts: 16, Shards: 2, Ops: 12, Guests: 8, Active: 4, Seed: 1}
+}
+
+func TestRunFederationDeterministic(t *testing.T) {
+	a := RunFederation(smallFedConfig())
+	b := RunFederation(smallFedConfig())
+	if len(a.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2 (1 shard and 2 shards)", len(a.Runs))
+	}
+	for i := range a.Runs {
+		ar, br := a.Runs[i], b.Runs[i]
+		if ar.PlacementDigest != br.PlacementDigest {
+			t.Fatalf("run %d: placement digest %s vs %s across reruns", i, ar.PlacementDigest, br.PlacementDigest)
+		}
+		if ar.Admitted != br.Admitted || ar.Failed != br.Failed ||
+			ar.Splits != br.Splits || ar.Fallbacks != br.Fallbacks {
+			t.Fatalf("run %d: deterministic counts moved: %+v vs %+v", i, ar, br)
+		}
+		if ar.Admitted == 0 {
+			t.Fatalf("run %d admitted nothing", i)
+		}
+	}
+	// The two shard counts see the same workload but different
+	// partitions, so their digests must differ.
+	if a.Runs[0].PlacementDigest == a.Runs[1].PlacementDigest {
+		t.Fatal("1-shard and 2-shard digests collide")
+	}
+}
+
+func TestCompareDocsFederationGate(t *testing.T) {
+	res := RunFederation(smallFedConfig())
+	base := JSONDocument{Hosts: 16, Seed: 1, Federation: &res}
+	same := RunFederation(smallFedConfig())
+	cur := JSONDocument{Hosts: 16, Seed: 1, Federation: &same}
+
+	if rep := CompareDocs(base, cur, 0.5); !rep.OK() {
+		t.Fatalf("identical federation runs drifted: %v", rep.Problems)
+	}
+
+	// A digest change gates; throughput does not.
+	drifted := RunFederation(smallFedConfig())
+	drifted.Runs[1].PlacementDigest = "0000000000000000"
+	drifted.Runs[1].AdmitsPerSec *= 10
+	cur = JSONDocument{Hosts: 16, Seed: 1, Federation: &drifted}
+	rep := CompareDocs(base, cur, 0.5)
+	if rep.OK() {
+		t.Fatal("placement-digest drift passed the gate")
+	}
+	for _, p := range rep.Problems {
+		if p == "" {
+			t.Fatal("empty problem")
+		}
+	}
+
+	// A missing block gates only when the baseline carries one.
+	cur = JSONDocument{Hosts: 16, Seed: 1}
+	if rep := CompareDocs(base, cur, 0.5); rep.OK() {
+		t.Fatal("dropped federation block passed the gate")
+	}
+	if rep := CompareDocs(cur, cur, 0.5); !rep.OK() {
+		t.Fatal("baseline without a federation block must gate nothing")
+	}
+	old := JSONDocument{Hosts: 16, Seed: 1}
+	withNew := JSONDocument{Hosts: 16, Seed: 1, Federation: &res}
+	if rep := CompareDocs(old, withNew, 0.5); !rep.OK() {
+		t.Fatalf("new federation block against an old baseline drifted: %v", rep.Problems)
+	}
+}

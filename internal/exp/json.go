@@ -69,6 +69,10 @@ type JSONDocument struct {
 	Heuristics []string     `json:"heuristics"`
 	Series     []JSONSeries `json:"series"`
 	Runs       []JSONRun    `json:"runs"`
+	// Federation holds the sharded aggregate-throughput comparison when
+	// the bench ran with -shards. Committed baselines without the block
+	// stay valid: CompareDocs gates it only when the baseline carries it.
+	Federation *FederationResult `json:"federation,omitempty"`
 }
 
 // JSON assembles the document for a sweep. Runs keep the deterministic

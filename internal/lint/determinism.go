@@ -49,6 +49,7 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/ga":       true,
 	"repro/internal/exp":      true,
 	"repro/internal/sim":      true,
+	"repro/internal/shard":    true,
 }
 
 // fixturePrefix marks this suite's own analysistest packages: each

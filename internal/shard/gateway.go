@@ -1,0 +1,59 @@
+package shard
+
+import "sync"
+
+// Gateway is the inter-shard interconnect budget. A split admission's
+// cut links — the virtual links whose endpoints land on different
+// shards — are not mapped onto any shard's physical fabric; they are
+// carried by the gateway, which has a fixed aggregate bandwidth. The
+// gateway models capacity only: it is assumed latency-transparent (the
+// cut is chosen at the environment's lowest-bandwidth links, which the
+// paper's workloads pair with their loosest latency floors).
+//
+// The router charges the gateway while holding its own lock; the
+// declared order below keeps that nesting one-way.
+type Gateway struct {
+	//hmn:lockorder mu gmu
+	gmu sync.Mutex
+	// budget is immutable; used is the bandwidth (Mbps) of every
+	// deployed cut link.
+	budget float64
+	used   float64 //hmn:guardedby gmu
+}
+
+// NewGateway builds a gateway with the given bandwidth budget in Mbps.
+func NewGateway(budget float64) *Gateway {
+	return &Gateway{budget: budget}
+}
+
+// Reserve charges bw against the budget, or reports
+// ErrGatewayExhausted leaving the budget untouched.
+func (g *Gateway) Reserve(bw float64) error {
+	g.gmu.Lock()
+	defer g.gmu.Unlock()
+	if g.used+bw > g.budget {
+		return ErrGatewayExhausted
+	}
+	g.used += bw
+	return nil
+}
+
+// Release refunds a reservation.
+func (g *Gateway) Release(bw float64) {
+	g.gmu.Lock()
+	defer g.gmu.Unlock()
+	g.used -= bw
+	if g.used < 0 {
+		g.used = 0
+	}
+}
+
+// InUse returns the bandwidth currently charged, in Mbps.
+func (g *Gateway) InUse() float64 {
+	g.gmu.Lock()
+	defer g.gmu.Unlock()
+	return g.used
+}
+
+// Budget returns the configured budget in Mbps.
+func (g *Gateway) Budget() float64 { return g.budget }

@@ -1,0 +1,501 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/wal"
+)
+
+// This file is the federation's durability layer beyond the per-shard
+// WALs themselves: the tenant registry's meta file, the per-shard
+// snapshot cadence, and Recover — the crash-restart path that rebuilds
+// every shard from its own snapshot-plus-log-suffix and the registry
+// from the fragment tags the shards' active sets carry.
+
+// metaName is the tenant registry file inside the data directory.
+const metaName = "federation.json"
+
+// metaTmp is the atomic-rename staging name for metaName.
+const metaTmp = "federation.json.tmp"
+
+// objectiveTolerance bounds the incremental-vs-recomputed objective
+// drift VerifyReplay accepts, matching the single-daemon verifier.
+const objectiveTolerance = 1e-9
+
+// fedMeta is the durable tenant registry. It changes only on tenant
+// open and close — environment membership is recovered from the
+// fragment tags in the shard WALs, never duplicated here.
+type fedMeta struct {
+	Shards      int      `json:"shards"`
+	GatewayBW   float64  `json:"gateway_bw"`
+	Mapper      string   `json:"mapper"`
+	Proc        float64  `json:"proc"`
+	Mem         int64    `json:"mem"`
+	Stor        float64  `json:"stor"`
+	NextSession int      `json:"next_session"`
+	Tenants     []string `json:"tenants"`
+}
+
+// HasState reports whether dir already holds federation state — the
+// registry file New writes before serving. Front ends branch on it to
+// decide between a fresh New and a Recover.
+func HasState(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, metaName))
+	return err == nil
+}
+
+// metaPath is the registry file's location under the data directory.
+func (f *Federation) metaPath() string {
+	return filepath.Join(f.cfg.DataDir, metaName)
+}
+
+// writeMetaLocked lands the tenant registry atomically: temp file,
+// fsync, rename, directory fsync — a crash leaves the old registry or
+// the new one, never a torn file. Caller holds f.mu; a federation
+// without a data directory is a no-op.
+//
+//hmn:locked mu
+func (f *Federation) writeMetaLocked() error {
+	if f.cfg.DataDir == "" {
+		return nil
+	}
+	meta := fedMeta{
+		Shards:      len(f.shards),
+		GatewayBW:   f.cfg.GatewayBW,
+		Mapper:      f.cfg.Mapper,
+		Proc:        f.cfg.Overhead.Proc,
+		Mem:         f.cfg.Overhead.Mem,
+		Stor:        f.cfg.Overhead.Stor,
+		NextSession: f.nextSID,
+		Tenants:     sortedTenantIDsLocked(f.tenants),
+	}
+	buf, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: encode federation meta: %w", err)
+	}
+	tmp := filepath.Join(f.cfg.DataDir, metaTmp)
+	file, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("shard: create federation meta: %w", err)
+	}
+	if _, err := file.Write(buf); err != nil {
+		file.Close()
+		return fmt.Errorf("shard: write federation meta: %w", err)
+	}
+	if err := file.Sync(); err != nil {
+		file.Close()
+		return fmt.Errorf("shard: sync federation meta: %w", err)
+	}
+	if err := file.Close(); err != nil {
+		return fmt.Errorf("shard: close federation meta: %w", err)
+	}
+	if err := os.Rename(tmp, f.metaPath()); err != nil {
+		return fmt.Errorf("shard: publish federation meta: %w", err)
+	}
+	return syncDir(f.cfg.DataDir)
+}
+
+// readMeta loads the registry file.
+func readMeta(dataDir string) (*fedMeta, error) {
+	buf, err := os.ReadFile(filepath.Join(dataDir, metaName))
+	if err != nil {
+		return nil, err
+	}
+	var meta fedMeta
+	if err := json.Unmarshal(buf, &meta); err != nil {
+		return nil, fmt.Errorf("shard: decode federation meta: %w", err)
+	}
+	if meta.Shards <= 0 {
+		return nil, fmt.Errorf("shard: federation meta names %d shards", meta.Shards)
+	}
+	return &meta, nil
+}
+
+// syncDir fsyncs a directory so a rename into it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// snapshotShard takes one full-state snapshot of sh and truncates its
+// log. Safe concurrently with the shard worker: the session export
+// runs under the session lock, and the WAL serializes the segment
+// rotation against appends.
+func (f *Federation) snapshotShard(sh *Shard) error {
+	return sh.w.WriteSnapshot(func() ([]wal.SessionSnap, error) {
+		f.mu.Lock()
+		nextEnv := f.nextEnv
+		f.mu.Unlock()
+		sn := wal.ExportSession(shardSID(sh.Index), sh.clusterSpec, f.cfg.Mapper, f.cfg.Overhead, uint64(nextEnv), sh.sess)
+		return []wal.SessionSnap{sn}, nil
+	})
+}
+
+// snapshotLoop snapshots every shard on the configured cadence until
+// Close stops it.
+func (f *Federation) snapshotLoop() {
+	defer close(f.snapDone)
+	ticker := time.NewTicker(f.cfg.SnapshotInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			for _, sh := range f.shards {
+				if sh.w == nil {
+					continue
+				}
+				if err := f.snapshotShard(sh); err != nil {
+					f.logf("shard %d: snapshot: %v", sh.Index, err)
+				}
+			}
+		case <-f.snapStop:
+			return
+		}
+	}
+}
+
+// pendingEnv accumulates one environment's fragments during recovery
+// until the set is known complete or orphaned.
+type pendingEnv struct {
+	frags map[int]*frag // by fragment ordinal (1-based)
+	fragN int
+	cutBW float64
+}
+
+// Recover rebuilds a federation from cfg.DataDir: the tenant registry
+// from the meta file, each shard from its own snapshot plus log
+// suffix, and every deployed environment from the fragment tags the
+// recovered active sets carry. Fragment sets a crash left incomplete —
+// a split admission that never finished committing — are released
+// shard-side (logged, so the cleanup is itself durable), preserving
+// the all-or-nothing contract across restarts. Shard count, mapper and
+// overhead come from the meta file; cfg's values for those fields are
+// ignored.
+func Recover(cfg Config) (*Federation, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, errors.New("shard: recover needs a data directory")
+	}
+	meta, err := readMeta(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Mapper = meta.Mapper
+	cfg.Overhead.Proc, cfg.Overhead.Mem, cfg.Overhead.Stor = meta.Proc, meta.Mem, meta.Stor
+	cfg.GatewayBW = meta.GatewayBW
+
+	f := &Federation{cfg: cfg, tenants: make(map[string]*tenant)}
+	if cfg.GatewayBW > 0 {
+		f.gw = NewGateway(cfg.GatewayBW)
+	}
+	f.nextSID = meta.NextSession
+	for _, sid := range meta.Tenants {
+		f.tenants[sid] = &tenant{id: sid, envs: make(map[string]*envRec)}
+		if n, ok := sessionOrdinal(sid); ok && n > f.nextSID {
+			f.nextSID = n
+		}
+	}
+
+	sums := make([]core.ResidualSummary, meta.Shards)
+	maxEnv := 0
+	for k := 0; k < meta.Shards; k++ {
+		sh, envHigh, err := f.recoverShard(k)
+		if err != nil {
+			f.abortBuild()
+			return nil, err
+		}
+		f.shards = append(f.shards, sh)
+		if envHigh > maxEnv {
+			maxEnv = envHigh
+		}
+	}
+	if err := f.rebuildRegistry(); err != nil {
+		f.abortBuild()
+		return nil, err
+	}
+	for k, sh := range f.shards {
+		if f.cfg.VerifyReplay {
+			if err := verifyShard(sh); err != nil {
+				f.abortBuild()
+				return nil, err
+			}
+		}
+		f.attachWAL(sh)
+		sums[k] = sh.sess.ResidualSummary()
+	}
+	f.mu.Lock()
+	if maxEnv > f.nextEnv {
+		f.nextEnv = maxEnv
+	}
+	f.mu.Unlock()
+	f.router = newRouter(sums, f.gw)
+	f.seedRouterEnvs()
+	f.start()
+	return f, nil
+}
+
+// recoverShard rebuilds shard k from its WAL directory: the snapshot
+// session restored at its operation boundary, then the log suffix
+// replayed in append order. envHigh is the highest environment ordinal
+// the shard's state names, for the global ID counter.
+func (f *Federation) recoverShard(k int) (*Shard, int, error) {
+	sid := shardSID(k)
+	w, recovered, err := wal.Open(filepath.Join(f.cfg.DataDir, sid), f.walHooks())
+	if err != nil {
+		return nil, 0, err
+	}
+	fail := func(err error) (*Shard, int, error) {
+		w.Close()
+		return nil, 0, err
+	}
+	if recovered.TruncatedBytes > 0 {
+		f.logf("shard %d: recovery truncated a torn log tail (%d bytes); the records were never acknowledged", k, recovered.TruncatedBytes)
+	}
+
+	sh := &Shard{
+		Index: k,
+		w:     w,
+		ops:   make(chan func(), f.cfg.QueueDepth),
+		done:  make(chan struct{}),
+	}
+	var boundary uint64
+	envHigh := 0
+	if snap := recovered.Snapshot; snap != nil {
+		if len(snap.Sessions) != 1 || snap.Sessions[0].SID != sid {
+			return fail(fmt.Errorf("shard: %s snapshot holds %d sessions (want exactly %q)", sid, len(snap.Sessions), sid))
+		}
+		sn := snap.Sessions[0]
+		cs, c, err := wal.RestoreSnap(sn)
+		if err != nil {
+			return fail(err)
+		}
+		sh.sess, sh.c, sh.clusterSpec = cs, c, sn.Cluster
+		boundary = sn.OpCount
+		envHigh = int(sn.NextEnv)
+	}
+	for i := range recovered.Records {
+		rec := &recovered.Records[i]
+		if rec.SID != sid {
+			return fail(fmt.Errorf("shard: %s log names session %s", sid, rec.SID))
+		}
+		switch rec.Kind {
+		case wal.KindOpen:
+			if sh.sess != nil {
+				continue
+			}
+			cs, c, err := wal.OpenSession(rec)
+			if err != nil {
+				return fail(err)
+			}
+			sh.sess, sh.c, sh.clusterSpec = cs, c, rec.Open.Cluster
+		case wal.KindClose:
+			return fail(fmt.Errorf("shard: %s log holds a close record; shards never close", sid))
+		default:
+			if sh.sess == nil {
+				return fail(fmt.Errorf("shard: %s record %q precedes the open record", sid, rec.Kind))
+			}
+			if rec.Index <= boundary {
+				continue
+			}
+			if err := wal.ReplayRecord(sh.sess, rec); err != nil {
+				return fail(err)
+			}
+			if f.cfg.Hooks.OnReplay != nil {
+				f.cfg.Hooks.OnReplay()
+			}
+			if high := recordEnvHigh(rec); high > envHigh {
+				envHigh = high
+			}
+		}
+	}
+	if sh.sess == nil {
+		return fail(fmt.Errorf("shard: %s directory holds no session state", sid))
+	}
+	sh.sess.SetRouteWorkers(f.cfg.RouteWorkers)
+	f.attachRebalance(sh)
+	return sh, envHigh, nil
+}
+
+// recordEnvHigh extracts the highest environment ordinal a replayed
+// record's tags name.
+func recordEnvHigh(rec *wal.Record) int {
+	high := 0
+	bump := func(tag string) {
+		if _, eid, _, _, _, ok := parseTag(tag); ok {
+			if n, ok := envOrdinal(eid); ok && n > high {
+				high = n
+			}
+		}
+	}
+	switch rec.Kind {
+	case wal.KindAdmit:
+		bump(rec.Admit.Tag)
+	case wal.KindBatch:
+		for i := range rec.Batch {
+			bump(rec.Batch[i].Tag)
+		}
+	case wal.KindFail:
+		for _, rr := range rec.Fail.Repairs {
+			bump(rr.Tag)
+		}
+	}
+	return high
+}
+
+// rebuildRegistry reconstructs every tenant's environment records from
+// the fragment tags in the recovered shards' active sets, releasing
+// the fragments of any set the crash left incomplete and re-charging
+// the gateway for the complete splits.
+func (f *Federation) rebuildRegistry() error {
+	// Recovery is single-threaded — the federation is unpublished — but
+	// the registry fields carry the lock discipline regardless.
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	type envKey struct{ sid, eid string }
+	pending := make(map[envKey]*pendingEnv)
+	var order []envKey
+	for k, sh := range f.shards {
+		for _, a := range sh.sess.Export().Active {
+			sid, eid, fragI, fragN, cut, ok := parseTag(a.Tag)
+			if !ok {
+				return fmt.Errorf("shard: shard %d active mapping carries unparseable tag %q", k, a.Tag)
+			}
+			if f.tenants[sid] == nil {
+				return fmt.Errorf("shard: shard %d fragment %q names tenant %s absent from the registry", k, a.Tag, sid)
+			}
+			key := envKey{sid: sid, eid: eid}
+			p := pending[key]
+			if p == nil {
+				p = &pendingEnv{frags: make(map[int]*frag), fragN: fragN, cutBW: cut}
+				pending[key] = p
+				order = append(order, key)
+			}
+			if p.fragN != fragN || p.frags[fragI] != nil {
+				return fmt.Errorf("shard: environment %s/%s has conflicting fragment sets", sid, eid)
+			}
+			p.frags[fragI] = &frag{shard: k, m: a.M, tag: a.Tag, proc: a.M.Env.TotalProc()}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].sid != order[j].sid {
+			a, aok := sessionOrdinal(order[i].sid)
+			b, bok := sessionOrdinal(order[j].sid)
+			if aok && bok && a != b {
+				return a < b
+			}
+			return order[i].sid < order[j].sid
+		}
+		a, _ := envOrdinal(order[i].eid)
+		b, _ := envOrdinal(order[j].eid)
+		return a < b
+	})
+
+	touched := make(map[int]bool)
+	for _, key := range order {
+		p := pending[key]
+		if len(p.frags) < p.fragN {
+			// The crash interrupted a split admission mid-commit: the
+			// router never acknowledged it, so the committed fragments are
+			// orphans. Release them through their sessions (the attached-
+			// later WAL hook is not needed — release here is pre-serving,
+			// logged explicitly below via the shard barrier path).
+			f.logf("shard: releasing %d orphan fragments of %s/%s (split never completed)", len(p.frags), key.sid, key.eid)
+			for _, i := range sortedFragOrdinals(p.frags) {
+				fr := p.frags[i]
+				sh := f.shards[fr.shard]
+				f.appendReleaseFor(sh, fr)
+				if err := sh.sess.Release(fr.m); err != nil {
+					return fmt.Errorf("shard: release orphan fragment %s: %w", fr.tag, err)
+				}
+				touched[fr.shard] = true
+			}
+			continue
+		}
+		if p.fragN > 1 {
+			if f.gw == nil {
+				return fmt.Errorf("shard: environment %s/%s is split but the recovered gateway budget is zero", key.sid, key.eid)
+			}
+			if err := f.gw.Reserve(p.cutBW); err != nil {
+				return fmt.Errorf("shard: environment %s/%s cut (%g Mbps): %w", key.sid, key.eid, p.cutBW, err)
+			}
+		}
+		rec := &envRec{cutBW: p.cutBW, split: p.fragN > 1}
+		for _, i := range sortedFragOrdinals(p.frags) {
+			rec.frags = append(rec.frags, p.frags[i])
+		}
+		owner := f.tenants[key.sid]
+		owner.envs[key.eid] = rec
+	}
+	for k := 0; k < len(f.shards); k++ {
+		if touched[k] {
+			if err := f.shards[k].barrier(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// appendReleaseFor logs an orphan fragment's release. The commit hook
+// is not attached yet during registry rebuild, so the record is
+// appended by hand — exactly what the hook would have written.
+func (f *Federation) appendReleaseFor(sh *Shard, fr *frag) {
+	var seq uint64
+	for _, a := range sh.sess.Export().Active {
+		if a.Tag == fr.tag {
+			seq = a.Seq
+			break
+		}
+	}
+	rec := &wal.Record{Kind: wal.KindRelease, SID: shardSID(sh.Index), Release: &wal.ReleaseRec{Seq: seq}}
+	if err := sh.w.Append(rec); err != nil {
+		f.logf("shard %d: wal append (orphan release %s): %v", sh.Index, fr.tag, err)
+	}
+}
+
+// sortedFragOrdinals lists a fragment map's keys ascending.
+func sortedFragOrdinals(frags map[int]*frag) []int {
+	out := make([]int, 0, len(frags))
+	//hmn:orderinvariant
+	for i := range frags {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// seedRouterEnvs aligns the router's per-shard occupancy with the
+// recovered registry (newRouter seeded it from the summaries, which
+// count fragments the same way — this re-read is belt and braces after
+// orphan cleanup).
+func (f *Federation) seedRouterEnvs() {
+	for k, sh := range f.shards {
+		f.router.resync(k, sh.sess.ResidualSummary())
+	}
+}
+
+// verifyShard cross-checks a recovered shard before it serves: the
+// incremental objective must match a two-pass recompute.
+func verifyShard(sh *Shard) error {
+	inc := sh.sess.ObjectiveStdDev()
+	re := mapping.Objective(sh.sess.ResidualProc())
+	if diff := inc - re; diff > objectiveTolerance || diff < -objectiveTolerance {
+		return fmt.Errorf("shard: shard %d recovered objective %.17g diverges from recomputed %.17g", sh.Index, inc, re)
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// residualVectors drains every shard and captures its residual-CPU
+// vector for exact (byte-identical) comparison across a restart.
+func residualVectors(f *Federation) [][]float64 {
+	out := make([][]float64, f.Shards())
+	for k := 0; k < f.Shards(); k++ {
+		sh, _ := f.Shard(k)
+		sh.run(func() {})
+		out[k] = append([]float64(nil), sh.Session().ResidualProc()...)
+	}
+	return out
+}
+
+func sameVectors(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if len(a[k]) != len(b[k]) {
+			return false
+		}
+		for i := range a[k] {
+			if a[k][i] != b[k][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, GatewayBW: 10}
+	f, err := New(testClusters(t, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := f.OpenTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eids []string
+	for i := int64(0); i < 3; i++ {
+		eid, _, err := f.Admit(sid, genEnv(60+i, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eids = append(eids, eid)
+	}
+	splitEID, pl, err := f.Admit(sid, splitEnv(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Split {
+		t.Fatal("expected a split admission")
+	}
+	if err := f.Release(sid, eids[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := residualVectors(f)
+	gwBefore := f.Gateway().InUse()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Recover(Config{DataDir: dir, VerifyReplay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Shards() != 2 {
+		t.Fatalf("recovered %d shards, want 2", r.Shards())
+	}
+	if !sameVectors(before, residualVectors(r)) {
+		t.Fatalf("recovered residuals diverge:\n%v\nvs\n%v", before, residualVectors(r))
+	}
+	if got := r.Gateway().InUse(); got != gwBefore {
+		t.Fatalf("recovered gateway in use = %g, want %g", got, gwBefore)
+	}
+	ids, err := r.EnvIDs(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("recovered %d environments, want 3 (%v)", len(ids), ids)
+	}
+
+	// New IDs keep counting past the recovered maximum.
+	eid, _, err := r.Admit(sid, genEnv(99, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n, prev int
+	fmt.Sscanf(eid, "e%d", &n)
+	fmt.Sscanf(splitEID, "e%d", &prev)
+	if n <= prev {
+		t.Fatalf("post-recovery env ID %q does not advance past %q", eid, splitEID)
+	}
+	// The recovered registry must drive releases, the split included.
+	if err := r.Release(sid, splitEID); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Gateway().InUse(); got != 0 {
+		t.Fatalf("gateway in use after recovered-split release = %g", got)
+	}
+	if err := r.CloseTenant(sid); err != nil {
+		t.Fatal(err)
+	}
+	sid2, err := r.OpenTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid2 == sid {
+		t.Fatalf("recovered federation reused tenant ID %q", sid)
+	}
+}
+
+// TestRecoverReleasesOrphanFragments simulates a crash mid-split: one
+// fragment's release is forged into its shard's log after close, so on
+// recovery the sibling fragment has an incomplete set and must be
+// cleaned up, gateway included.
+func TestRecoverReleasesOrphanFragments(t *testing.T) {
+	dir := t.TempDir()
+	f, err := New(testClusters(t, 2), Config{DataDir: dir, GatewayBW: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, _ := f.OpenTenant()
+	_, pl, err := f.Admit(sid, splitEnv(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := pl.Fragments[0]
+	sh, _ := f.Shard(fr.Shard)
+	sh.run(func() {})
+	export := sh.Session().Export()
+	var seq uint64
+	found := false
+	for _, a := range export.Active {
+		if a.Tag == fr.Tag {
+			seq, found = a.Seq, true
+		}
+	}
+	if !found {
+		t.Fatalf("fragment %q not in shard %d's active set", fr.Tag, fr.Shard)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w, _, err := wal.Open(filepath.Join(dir, shardSID(fr.Shard)), wal.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index must land past the final snapshot's operation boundary or
+	// replay treats the record as already applied.
+	if err := w.Append(&wal.Record{Kind: wal.KindRelease, SID: shardSID(fr.Shard), Index: export.OpCount + 1, Release: &wal.ReleaseRec{Seq: seq}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Recover(Config{DataDir: dir, VerifyReplay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ids, err := r.EnvIDs(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("orphaned split survived recovery: %v", ids)
+	}
+	for k := 0; k < 2; k++ {
+		sh, _ := r.Shard(k)
+		sh.run(func() {})
+		if sh.Session().Active() != 0 {
+			t.Fatalf("shard %d keeps %d fragments after orphan cleanup", k, sh.Session().Active())
+		}
+	}
+	if got := r.Gateway().InUse(); got != 0 {
+		t.Fatalf("gateway in use after orphan cleanup = %g", got)
+	}
+}
+
+func TestNewRefusesExistingState(t *testing.T) {
+	dir := t.TempDir()
+	f, err := New(testClusters(t, 2), Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(testClusters(t, 2), Config{DataDir: dir}); err == nil {
+		t.Fatal("New accepted a directory holding shard state")
+	}
+}
+
+func TestRecoverNeedsDataDir(t *testing.T) {
+	if _, err := Recover(Config{}); err == nil {
+		t.Fatal("Recover accepted an empty data directory")
+	}
+}
+
+func TestRecoverMissingMeta(t *testing.T) {
+	_, err := Recover(Config{DataDir: t.TempDir()})
+	if err == nil || errors.Is(err, ErrClosed) {
+		t.Fatalf("Recover on an empty directory = %v", err)
+	}
+}
